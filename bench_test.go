@@ -1,0 +1,210 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (the
+// paper has no numbered tables). Custom metrics report the figures' y-axis
+// quantities; EXPERIMENTS.md records full-scale runs of the same harness
+// via cmd/experiments.
+package streamop_test
+
+import (
+	"testing"
+
+	"streamop"
+	"streamop/internal/experiments"
+	"streamop/internal/trace"
+)
+
+// benchAccuracyCfg is a reduced Figure 2/3/4 configuration sized for
+// benchmark iterations; cmd/experiments runs the full 40-window version.
+func benchAccuracyCfg(n int) experiments.AccuracyConfig {
+	return experiments.AccuracyConfig{
+		Seed: 42, Windows: 10, WindowSec: 20, N: n, Theta: 2, RelaxF: 10,
+	}
+}
+
+// BenchmarkFig2Accuracy regenerates Figure 2 (accuracy of summation):
+// relaxed vs non-relaxed dynamic subset-sum estimates against actual sums
+// on the bursty feed. Metrics: mean relative error of each variant.
+func BenchmarkFig2Accuracy(b *testing.B) {
+	var s experiments.AccuracySummary
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Accuracy(benchAccuracyCfg(1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = experiments.Summarize(pts, 1000)
+	}
+	b.ReportMetric(s.MeanRelErrRelaxed, "relerr-relaxed")
+	b.ReportMetric(s.MeanRelErrNonrelaxed, "relerr-nonrelaxed")
+}
+
+// BenchmarkFig3SamplesPerPeriod regenerates Figure 3 (samples per period).
+// Metrics: mean output sample count per window for each variant (target
+// N=1000).
+func BenchmarkFig3SamplesPerPeriod(b *testing.B) {
+	var s experiments.AccuracySummary
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Accuracy(benchAccuracyCfg(1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = experiments.Summarize(pts, 1000)
+	}
+	b.ReportMetric(s.MeanSamplesRelaxed, "samples-relaxed")
+	b.ReportMetric(s.MeanSamplesNonrelaxed, "samples-nonrelaxed")
+	b.ReportMetric(float64(s.UnderSampledWindowsNon), "undersampled-windows-nonrelaxed")
+}
+
+// BenchmarkFig4CleaningPhases regenerates Figure 4 (cleaning phases per
+// period). Metrics: post-warmup mean cleaning phases per window.
+func BenchmarkFig4CleaningPhases(b *testing.B) {
+	var s experiments.AccuracySummary
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Accuracy(benchAccuracyCfg(1000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = experiments.Summarize(pts, 1000)
+	}
+	b.ReportMetric(s.SteadyCleaningsRelaxed, "cleanings-relaxed")
+	b.ReportMetric(s.SteadyCleaningsNonrelaxed, "cleanings-nonrelaxed")
+}
+
+func benchCPUCfg() experiments.CPUConfig {
+	return experiments.CPUConfig{
+		Seed: 7, DurationSec: 2, WindowSec: 1, Rate: 100000,
+		SampleSizes: []int{1000}, Theta: 2, RelaxF: 10,
+	}
+}
+
+// BenchmarkFig5CPUUsage regenerates Figure 5 (CPU usage for sampling).
+// Metrics: CPU fraction of the relaxed / non-relaxed sampling operator and
+// of basic subset-sum as a selection UDF at N=1000 on the 100k pps feed.
+func BenchmarkFig5CPUUsage(b *testing.B) {
+	var pt experiments.CPUPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.CPUUsage(benchCPUCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt = pts[0]
+	}
+	b.ReportMetric(100*pt.Relaxed, "cpu%-ss-relaxed")
+	b.ReportMetric(100*pt.Nonrelaxed, "cpu%-ss-nonrelaxed")
+	b.ReportMetric(100*pt.BasicSS, "cpu%-basic-ss")
+}
+
+// BenchmarkFig6LowLevel regenerates Figure 6 (effect of low-level query
+// type). Metrics: the sampling node's CPU with a plain selection subquery
+// vs a basic-SS pushdown subquery, plus both low-level costs.
+func BenchmarkFig6LowLevel(b *testing.B) {
+	var pt experiments.LowLevelPoint
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.LowLevelEffect(benchCPUCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt = pts[0]
+	}
+	b.ReportMetric(100*pt.HighSelectionSub, "cpu%-high-selection-sub")
+	b.ReportMetric(100*pt.HighBasicSSSub, "cpu%-high-basicss-sub")
+	b.ReportMetric(100*pt.LowSelection, "cpu%-low-selection")
+	b.ReportMetric(100*pt.LowBasicSS, "cpu%-low-basicss")
+}
+
+// BenchmarkThetaSweep reproduces the §7.2 theta study. Metric: max/min CPU
+// ratio across theta settings (the paper found little dependence).
+func BenchmarkThetaSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ThetaSweep(benchCPUCfg(), []float64{1.5, 2, 4}, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		min, max := pts[0].CPU, pts[0].CPU
+		for _, p := range pts {
+			if p.CPU < min {
+				min = p.CPU
+			}
+			if p.CPU > max {
+				max = p.CPU
+			}
+		}
+		ratio = max / min
+	}
+	b.ReportMetric(ratio, "cpu-maxmin-ratio")
+}
+
+// BenchmarkSampleSizes reproduces the §7.1 note that N in {100, 10000}
+// behaves like N=1000. Metric: relaxed relative error at N=100.
+func BenchmarkSampleSizes(b *testing.B) {
+	var s experiments.AccuracySummary
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Accuracy(benchAccuracyCfg(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = experiments.Summarize(pts, 100)
+	}
+	b.ReportMetric(s.MeanRelErrRelaxed, "relerr-relaxed-n100")
+}
+
+// BenchmarkFlowSampleDDoS regenerates the conclusion's sampled-flows
+// stress test. Metrics: integrated table peak (bounded) and volume error.
+func BenchmarkFlowSampleDDoS(b *testing.B) {
+	var res experiments.DDoSResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultDDoS(3)
+		cfg.DurationSec = 9
+		var err error
+		res, err = experiments.DDoS(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.IntegratedPeak), "table-peak")
+	b.ReportMetric(res.VolumeRelErr, "volume-relerr")
+}
+
+// BenchmarkAblationOverhead measures the operator's genericity cost over
+// the hand-coded dynamic subset-sum implementation.
+func BenchmarkAblationOverhead(b *testing.B) {
+	var res experiments.OverheadResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Overhead(5, 1, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Factor, "overhead-factor")
+	b.ReportMetric(res.OperatorNSPerPacket, "operator-ns/pkt")
+}
+
+// BenchmarkOperatorThroughput measures raw packets/sec through the full
+// dynamic subset-sum query — the line-rate claim of the paper's title.
+func BenchmarkOperatorThroughput(b *testing.B) {
+	q, err := streamop.Compile(`
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/2 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feed, err := trace.NewSteady(trace.DefaultSteady(1, 1e9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]trace.Packet, 1<<16)
+	for i := range pkts {
+		pkts[i], _ = feed.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.ProcessPacket(pkts[i&(1<<16-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Command experiments regenerates the paper's evaluation figures (§7) on
+// the synthetic feeds and prints the series the paper plots.
+//
+// Usage:
+//
+//	experiments -fig 2       # accuracy of summation (Figure 2)
+//	experiments -fig 3       # samples per period (Figure 3)
+//	experiments -fig 4       # cleaning phases per period (Figure 4)
+//	experiments -fig 5       # CPU usage for sampling (Figure 5)
+//	experiments -fig 6       # effect of low-level query type (Figure 6)
+//	experiments -fig theta   # cleaning-trigger sweep (§7.2 text)
+//	experiments -fig sizes   # N in {100, 1000, 10000} (§7.1 text)
+//	experiments -fig ddos    # sampled-flows under DDoS (§8 example)
+//	experiments -fig overhead|relax|hhpush|cascade   # ablations
+//	experiments -fig all
+//
+// -quick shrinks every run for smoke testing; -seed controls all
+// randomness, so output is fully reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamop/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,relax,hhpush,cascade,all")
+	seed := flag.Uint64("seed", 42, "random seed for feeds and algorithms")
+	quick := flag.Bool("quick", false, "shrink runs for a fast smoke test")
+	flag.Parse()
+
+	if err := run(*fig, *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, seed uint64, quick bool) error {
+	switch fig {
+	case "2", "3", "4":
+		return accuracyFigs(fig, seed, quick, 0)
+	case "5":
+		return fig5(seed, quick)
+	case "6":
+		return fig6(seed, quick)
+	case "theta":
+		return thetaFig(seed, quick)
+	case "sizes":
+		for _, n := range []int{100, 1000, 10000} {
+			if err := accuracyFigs("summary", seed, quick, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "ddos":
+		return ddosFig(seed, quick)
+	case "overhead":
+		return overheadFig(seed, quick)
+	case "hhpush":
+		return hhpushFig(seed, quick)
+	case "cascade":
+		return cascadeFig(seed, quick)
+	case "relax":
+		return relaxFig(seed, quick)
+	case "all":
+		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "relax", "hhpush", "cascade"} {
+			fmt.Printf("\n================ -fig %s ================\n", f)
+			if err := run(f, seed, quick); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func accuracyCfg(seed uint64, quick bool, n int) experiments.AccuracyConfig {
+	cfg := experiments.DefaultAccuracy(seed)
+	if n > 0 {
+		cfg.N = n
+	}
+	if quick {
+		cfg.Windows = 10
+	}
+	return cfg
+}
+
+func accuracyFigs(fig string, seed uint64, quick bool, n int) error {
+	cfg := accuracyCfg(seed, quick, n)
+	pts, err := experiments.Accuracy(cfg)
+	if err != nil {
+		return err
+	}
+	switch fig {
+	case "2":
+		fmt.Printf("Figure 2 — Accuracy of summation (%d samples per %ds period)\n", cfg.N, cfg.WindowSec)
+		fmt.Printf("%-7s %15s %18s %20s\n", "window", "actual", "estimated(relaxed)", "estimated(nonrelaxed)")
+		for _, p := range pts {
+			fmt.Printf("%-7d %15.0f %18.0f %20.0f\n", p.Window, p.Actual, p.EstRelaxed, p.EstNonrelaxed)
+		}
+	case "3":
+		fmt.Printf("Figure 3 — Samples per period (target N=%d)\n", cfg.N)
+		fmt.Printf("%-7s %10s %12s\n", "window", "relaxed", "nonrelaxed")
+		for _, p := range pts {
+			fmt.Printf("%-7d %10d %12d\n", p.Window, p.SamplesRelaxed, p.SamplesNonrelaxed)
+		}
+	case "4":
+		fmt.Printf("Figure 4 — Cleaning phases per period (N=%d)\n", cfg.N)
+		fmt.Printf("%-7s %10s %12s\n", "window", "relaxed", "nonrelaxed")
+		for _, p := range pts {
+			fmt.Printf("%-7d %10d %12d\n", p.Window, p.CleaningsRelaxed, p.CleaningsNonrelaxed)
+		}
+	}
+	s := experiments.Summarize(pts, cfg.N)
+	fmt.Printf("\nsummary N=%d: rel.err relaxed=%.3f nonrelaxed=%.3f | mean samples relaxed=%.0f nonrelaxed=%.0f | cleanings/window relaxed=%.1f nonrelaxed=%.1f | undersampled windows (nonrelaxed)=%d\n",
+		cfg.N, s.MeanRelErrRelaxed, s.MeanRelErrNonrelaxed,
+		s.MeanSamplesRelaxed, s.MeanSamplesNonrelaxed,
+		s.SteadyCleaningsRelaxed, s.SteadyCleaningsNonrelaxed, s.UnderSampledWindowsNon)
+	return nil
+}
+
+func cpuCfg(seed uint64, quick bool) experiments.CPUConfig {
+	cfg := experiments.DefaultCPU(seed)
+	if quick {
+		cfg.DurationSec = 2
+		cfg.Rate = 50000
+	}
+	return cfg
+}
+
+func fig5(seed uint64, quick bool) error {
+	cfg := cpuCfg(seed, quick)
+	pts, err := experiments.CPUUsage(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5 — Subset-sum sampling CPU usage (%.0fk pkts/sec, %ds windows)\n", cfg.Rate/1000, cfg.WindowSec)
+	fmt.Printf("%-18s %12s %14s %10s\n", "samples/period", "SS relaxed", "SS nonrelaxed", "basic SS")
+	for _, p := range pts {
+		fmt.Printf("%-18d %11.2f%% %13.2f%% %9.2f%%\n",
+			p.Samples, 100*p.Relaxed, 100*p.Nonrelaxed, 100*p.BasicSS)
+	}
+	return nil
+}
+
+func fig6(seed uint64, quick bool) error {
+	cfg := cpuCfg(seed, quick)
+	pts, err := experiments.LowLevelEffect(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6 — Effect of low-level query type on the sampling node")
+	fmt.Printf("%-18s %20s %20s %14s %14s\n", "samples/period",
+		"high (selection sub)", "high (basic-SS sub)", "low selection", "low basic-SS")
+	for _, p := range pts {
+		fmt.Printf("%-18d %19.2f%% %19.2f%% %13.2f%% %13.2f%%\n",
+			p.Samples, 100*p.HighSelectionSub, 100*p.HighBasicSSSub,
+			100*p.LowSelection, 100*p.LowBasicSS)
+	}
+	return nil
+}
+
+func thetaFig(seed uint64, quick bool) error {
+	cfg := cpuCfg(seed, quick)
+	pts, err := experiments.ThetaSweep(cfg, []float64{1.5, 2, 3, 4, 6}, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Theta sweep (§7.2) — cleaning trigger vs CPU, N=1000")
+	fmt.Printf("%-8s %10s %12s\n", "theta", "CPU", "cleanings")
+	for _, p := range pts {
+		fmt.Printf("%-8.1f %9.2f%% %12d\n", p.Theta, 100*p.CPU, p.Cleanings)
+	}
+	return nil
+}
+
+func ddosFig(seed uint64, quick bool) error {
+	cfg := experiments.DefaultDDoS(seed)
+	if quick {
+		cfg.DurationSec = 9
+	}
+	res, err := experiments.DDoS(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Sampled flows under DDoS (§8 example)")
+	fmt.Printf("packets:                   %d\n", res.Packets)
+	fmt.Printf("naive pipeline failed:     %v (flow budget %d, peak %d)\n", res.NaiveFailed, cfg.NaiveBudget, res.NaivePeakFlows)
+	fmt.Printf("integrated table peak:     %d (bound %d)\n", res.IntegratedPeak, res.Bound)
+	fmt.Printf("sampled flows out:         %d (target %d)\n", res.SampledFlows, cfg.TargetSize)
+	fmt.Printf("volume estimate rel. err:  %.3f\n", res.VolumeRelErr)
+	return nil
+}
+
+func overheadFig(seed uint64, quick bool) error {
+	dur := 3.0
+	if quick {
+		dur = 1
+	}
+	res, err := experiments.Overhead(seed, dur, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — operator genericity cost (dynamic subset-sum, N=1000)")
+	fmt.Printf("packets:               %d\n", res.Packets)
+	fmt.Printf("operator ns/packet:    %.0f\n", res.OperatorNSPerPacket)
+	fmt.Printf("hand-coded ns/packet:  %.0f\n", res.DirectNSPerPacket)
+	fmt.Printf("overhead factor:       %.1fx\n", res.Factor)
+	fmt.Printf("estimate agreement:    %.3f rel. difference\n", res.EstimateDelta)
+	return nil
+}
+
+func hhpushFig(seed uint64, quick bool) error {
+	dur := 180.0
+	if quick {
+		dur = 65
+	}
+	res, err := experiments.HHPush(seed, dur)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — heavy hitters via low-level partial aggregation (§8 suggestion)")
+	fmt.Printf("packets:                        %d\n", res.Packets)
+	fmt.Printf("forwarded (selection low):      %d\n", res.SelectionForwarded)
+	fmt.Printf("forwarded (256-slot partial):   %d (%d collision evictions)\n", res.PartialForwarded, res.Evictions)
+	fmt.Printf("heavy-hitter node CPU:          %.2f%% (selection-fed) vs %.2f%% (partial-fed)\n",
+		100*res.HighCPUSelection, 100*res.HighCPUPartial)
+	fmt.Printf("heavy source found:             selection=%v partial=%v\n",
+		res.HeavyFoundSelection, res.HeavyFoundPartial)
+	return nil
+}
+
+func cascadeFig(seed uint64, quick bool) error {
+	dur := 20.0
+	if quick {
+		dur = 8
+	}
+	res, err := experiments.Cascade(seed, dur, 2, 1000, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — cascaded sampling (conclusion's teaser): reservoir(50) over subset-sum(1000)")
+	fmt.Printf("windows:                 %d\n", res.Windows)
+	fmt.Printf("cascade mean rel.err:    %.3f (scaled estimator)\n", res.MeanRelErrCascade)
+	fmt.Printf("direct SS(50) rel.err:   %.3f\n", res.MeanRelErrDirect)
+	fmt.Printf("cascade final samples:   %.1f per window (cap 50)\n", res.MeanFinalSamples)
+	return nil
+}
+
+func relaxFig(seed uint64, quick bool) error {
+	factors := []float64{1, 2, 10, 100}
+	if quick {
+		factors = []float64{1, 10}
+	}
+	pts, err := experiments.RelaxSweep(seed, factors)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — relaxation factor f")
+	fmt.Printf("%-6s %12s %14s %18s\n", "f", "mean rel.err", "mean samples", "cleanings/window")
+	for _, p := range pts {
+		fmt.Printf("%-6.0f %12.3f %14.0f %18.1f\n", p.F, p.MeanRelErr, p.MeanSamples, p.CleaningsPerWindowSS)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunQuickFigures(t *testing.T) {
+	// Exercise the formatting paths on small runs; figure 5/6-style runs
+	// are covered by internal/experiments tests and take seconds, so the
+	// CLI test sticks to the cheap ones.
+	for _, fig := range []string{"ddos", "overhead"} {
+		if err := run(fig, 3, true); err != nil {
+			t.Errorf("run(%s): %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("notafig", 1, true); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command gsq runs a GSQL sampling query over a packet feed and prints the
+// output rows as CSV.
+//
+// Usage:
+//
+//	gsq -query 'SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/10 as tb, srcIP' -feed steady -duration 5
+//	gsq -queryfile q.gsql -feed bursty -seed 7
+//	gsq -queryfile q.gsql -trace capture.sopt
+//
+// Feeds: bursty (research-center tap), steady (data-center tap), ddos,
+// flows, or a binary trace recorded with tracegen via -trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamop/internal/core"
+	"streamop/internal/trace"
+)
+
+func main() {
+	query := flag.String("query", "", "query text")
+	queryFile := flag.String("queryfile", "", "file containing the query")
+	feedKind := flag.String("feed", "steady", "synthetic feed: bursty|steady|ddos|flows")
+	traceFile := flag.String("trace", "", "binary trace file (overrides -feed)")
+	duration := flag.Float64("duration", 5, "simulated feed duration in seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	limit := flag.Int("limit", 0, "print at most this many rows (0 = all)")
+	stats := flag.Bool("stats", false, "print operator statistics to stderr")
+	explain := flag.Bool("explain", false, "print the compiled plan and exit")
+	flag.Parse()
+
+	if err := run(*query, *queryFile, *feedKind, *traceFile, *duration, *seed, *limit, *stats, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "gsq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, queryFile, feedKind, traceFile string, duration float64, seed uint64, limit int, stats, explain bool) error {
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	}
+	if strings.TrimSpace(query) == "" {
+		return fmt.Errorf("no query given (use -query or -queryfile)")
+	}
+
+	feed, err := openFeed(feedKind, traceFile, duration, seed)
+	if err != nil {
+		return err
+	}
+
+	printed := 0
+	q, err := core.Compile(query, core.Options{
+		Seed: seed,
+		Emit: func(row core.Row) error {
+			if limit > 0 && printed >= limit {
+				return nil
+			}
+			printed++
+			fmt.Println(row.Values.String())
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(q.Plan().Describe())
+		return nil
+	}
+	fmt.Println(strings.Join(q.Columns(), ","))
+	if err := q.RunFeed(feed); err != nil {
+		return err
+	}
+	if stats {
+		s := q.Stats()
+		fmt.Fprintf(os.Stderr, "tuples in=%d accepted=%d out=%d groups=%d evicted=%d cleanings=%d windows=%d\n",
+			s.TuplesIn, s.TuplesAccepted, s.TuplesOut, s.GroupsCreated, s.GroupsEvicted, s.Cleanings, s.Windows)
+	}
+	return nil
+}
+
+func openFeed(kind, traceFile string, duration float64, seed uint64) (trace.Feed, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		// The process exits when done; the descriptor is released then.
+		return trace.NewReader(f)
+	}
+	switch kind {
+	case "bursty":
+		return trace.NewBursty(trace.DefaultBursty(seed, duration))
+	case "steady":
+		return trace.NewSteady(trace.DefaultSteady(seed, duration))
+	case "ddos":
+		return trace.NewDDoS(trace.DefaultDDoS(seed, duration))
+	case "flows":
+		return trace.NewFlows(trace.DefaultFlows(seed, duration))
+	}
+	return nil, fmt.Errorf("unknown feed %q", kind)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenFeedKinds(t *testing.T) {
+	for _, kind := range []string{"bursty", "steady", "ddos", "flows"} {
+		f, err := openFeed(kind, "", 0.01, 1)
+		if err != nil {
+			t.Errorf("openFeed(%s): %v", kind, err)
+			continue
+		}
+		if f == nil {
+			t.Errorf("openFeed(%s) returned nil feed", kind)
+		}
+	}
+	if _, err := openFeed("nope", "", 1, 1); err == nil {
+		t.Error("unknown feed accepted")
+	}
+	if _, err := openFeed("steady", "/does/not/exist.sopt", 1, 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunQueryOverFeed(t *testing.T) {
+	err := run("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		"", "steady", "", 0.5, 1, 3, true, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	err := run("SELECT uts FROM PKT WHERE len > 0", "", "steady", "", 0.1, 1, 0, false, true)
+	if err != nil {
+		t.Fatalf("run -explain: %v", err)
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.gsql")
+	if err := os.WriteFile(path, []byte("SELECT uts FROM PKT WHERE len >= 1500"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "steady", "", 0.1, 1, 2, false, false); err != nil {
+		t.Fatalf("run -queryfile: %v", err)
+	}
+	if err := run("", filepath.Join(dir, "missing.gsql"), "steady", "", 0.1, 1, 0, false, false); err == nil {
+		t.Error("missing query file accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "steady", "", 1, 1, 0, false, false); err == nil {
+		t.Error("empty query accepted")
+	}
+	if err := run("not a query", "", "steady", "", 1, 1, 0, false, false); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamop/internal/trace"
+)
+
+func TestGenerateAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"bursty", "steady", "ddos", "flows"} {
+		out := filepath.Join(dir, kind+".sopt")
+		if err := run(kind, 0.05, 7, out); err != nil {
+			t.Fatalf("run(%s): %v", kind, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			t.Fatalf("reading %s trace: %v", kind, err)
+		}
+		pkts := trace.Collect(r)
+		f.Close()
+		if r.Err() != nil {
+			t.Fatalf("%s trace decode: %v", kind, r.Err())
+		}
+		if len(pkts) == 0 {
+			t.Errorf("%s trace is empty", kind)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("steady", 0.1, 1, ""); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("nope", 0.1, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown feed accepted")
+	}
+	if err := run("steady", 0, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := run("steady", 0.1, 1, "/no/such/dir/x.sopt"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

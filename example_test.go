@@ -1,0 +1,93 @@
+package streamop_test
+
+import (
+	"fmt"
+	"log"
+
+	"streamop"
+)
+
+// ExampleCompile runs the paper's dynamic subset-sum sampling query over a
+// small deterministic feed and reports the per-window sample sizes.
+func ExampleCompile() {
+	q, err := streamop.Compile(`
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 50, 2, 10) = TRUE
+GROUP BY time/2 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed, err := streamop.NewSteadyFeed(streamop.SteadyConfig{Seed: 1, Duration: 3.9, Rate: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.RunFeed(feed); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for _, row := range q.Rows {
+		counts[row.Values[0].AsInt()]++
+	}
+	for w := int64(0); w < 2; w++ {
+		ok := counts[w] >= 45 && counts[w] <= 50
+		fmt.Printf("window %d: ~50 samples: %v\n", w, ok)
+	}
+	// Output:
+	// window 0: ~50 samples: true
+	// window 1: ~50 samples: true
+}
+
+// ExampleCompile_selection shows the degenerate selection mode: a query
+// without GROUP BY emits one row per passing tuple.
+func ExampleCompile_selection() {
+	q, err := streamop.Compile(`SELECT uts, len FROM PKT WHERE len >= 1500`, streamop.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, l := range []uint16{40, 1500, 576, 1500} {
+		if err := q.ProcessPacket(streamop.Packet{Time: uint64(i), Len: l}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, row := range q.Rows {
+		fmt.Println(row.Values)
+	}
+	// Output:
+	// 1,1500
+	// 3,1500
+}
+
+// ExampleNewRegistry demonstrates a user-defined stateful function family:
+// a one-in-k systematic sampler.
+func ExampleNewRegistry() {
+	reg := streamop.NewRegistry()
+	reg.MustRegisterState(&streamop.StateType{
+		Name: "every_k_state",
+		Init: func(old any) any { n := int64(0); return &n },
+	})
+	reg.MustRegisterFunc(&streamop.Func{
+		Name: "every_k", State: "every_k_state",
+		Call: func(state any, args []streamop.Value) (streamop.Value, error) {
+			n := state.(*int64)
+			*n++
+			return streamop.BoolValue(*n%args[0].AsInt() == 0), nil
+		},
+	})
+	q, err := streamop.Compile(`SELECT uts FROM PKT WHERE every_k(3) = TRUE`,
+		streamop.Options{Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		if err := q.ProcessPacket(streamop.Packet{Time: uint64(i), Len: 1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(len(q.Rows), "of 9 sampled")
+	// Output:
+	// 3 of 9 sampled
+}

@@ -1,0 +1,71 @@
+// Quickstart: collect a fixed-size subset-sum sample of a packet stream
+// and estimate total traffic volume from it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamop"
+)
+
+func main() {
+	// Dynamic subset-sum sampling: ~1000 samples per 5-second window,
+	// cleaning trigger theta=2, relaxed threshold carry-over f=10.
+	// Each packet is its own group (uts); the output's adjusted length
+	// UMAX(sum(len), ssthreshold()) makes sample sums estimate stream sums.
+	q, err := streamop.Compile(`
+SELECT tb, uts, srcIP, destIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/5 as tb, srcIP, destIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic synthetic feed standing in for a live tap:
+	// ~100,000 packets/sec for 10 simulated seconds.
+	feed, err := streamop.NewSteadyFeed(streamop.DefaultSteady(1, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Track the true per-window volume alongside, for comparison.
+	actual := map[int64]float64{}
+	counting := func(p streamop.Packet) {
+		actual[int64(p.Time/1e9/5)] += float64(p.Len)
+	}
+	for {
+		p, ok := feed.Next()
+		if !ok {
+			break
+		}
+		counting(p)
+		if err := q.ProcessPacket(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := q.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sum the adjusted weights per window: the subset-sum estimator.
+	est := map[int64]float64{}
+	count := map[int64]int{}
+	for _, row := range q.Rows {
+		w := row.Values[0].AsInt()
+		est[w] += row.Values[4].AsFloat()
+		count[w]++
+	}
+	fmt.Println("window   samples   estimated bytes       actual bytes   rel.err")
+	for w := int64(0); w < 2; w++ {
+		relErr := (est[w] - actual[w]) / actual[w]
+		fmt.Printf("%6d   %7d   %15.0f   %16.0f   %+.3f\n", w, count[w], est[w], actual[w], relErr)
+	}
+	fmt.Printf("\n%d total samples summarize %d packets\n", len(q.Rows), q.Stats().TuplesIn)
+}

@@ -1,0 +1,79 @@
+// Twolevel: the Gigascope architecture of the paper's Figure 1 — a
+// low-level query doing early data reduction (basic subset-sum pushdown)
+// feeding a high-level dynamic subset-sum sampling query, with per-node
+// CPU accounting. This is the topology behind the paper's Figure 6.
+//
+// Run with: go run ./examples/twolevel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamop"
+)
+
+func main() {
+	reg := streamop.DefaultRegistry(1)
+	eng, err := streamop.NewEngine(1 << 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Low level: basic subset-sum sampling at 1/10th the high-level
+	// threshold forwards ~1% of tuples — the early data reduction that
+	// makes the high-level query cheap.
+	lowPlan, err := streamop.ParseAndAnalyze(
+		`SELECT time, srcIP, destIP, len, uts FROM PKT WHERE bssample(len, 14000) = TRUE`,
+		streamop.PKTSchema(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	low, err := eng.AddLowLevel("lowbss", lowPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// High level: the dynamic subset-sum sampling operator, windowed at
+	// 2 seconds, 1000 samples per window.
+	highPlan, err := streamop.ParseAndAnalyze(`
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM lowbss
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/2 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`, low.Schema(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	high, err := eng.AddHighLevel("sampler", low, highPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var samples int
+	var est float64
+	high.Subscribe(func(row streamop.Tuple) error {
+		samples++
+		est += row[3].AsFloat()
+		return nil
+	})
+
+	feed, err := streamop.NewSteadyFeed(streamop.DefaultSteady(1, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Run(feed); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("stream: %d packets over %v simulated\n", eng.Packets(), eng.StreamDuration())
+	fmt.Printf("ring-buffer drops: %d\n\n", eng.Drops())
+	for _, n := range eng.Nodes() {
+		st := n.Stats()
+		fmt.Printf("node %-10s in=%8d out=%7d busy=%8v  cpu=%5.2f%%\n",
+			st.Name, st.TuplesIn, st.TuplesOut, st.Busy.Round(1000), 100*eng.Utilization(n))
+	}
+	fmt.Printf("\n%d samples estimate %.0f bytes total\n", samples, est)
+}

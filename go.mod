@@ -1,0 +1,3 @@
+module streamop
+
+go 1.22

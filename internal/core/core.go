@@ -1,0 +1,138 @@
+// Package core composes the paper's contribution into a directly usable
+// unit: it compiles a GSQL sampling query (grouping + SUPERGROUP +
+// CLEANING WHEN/BY + stateful functions) against a stream schema and runs
+// it over packets or tuples, collecting the per-window samples.
+//
+// The pieces it wires together are the parser/analyzer (internal/gsql),
+// the operator runtime (internal/operator) and the stateful-function
+// runtime library (internal/sfunlib). The root streamop package re-exports
+// this API for library consumers.
+package core
+
+import (
+	"fmt"
+
+	"streamop/internal/gsql"
+	"streamop/internal/operator"
+	"streamop/internal/sfun"
+	"streamop/internal/sfunlib"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// Row is one output sample row with named columns.
+type Row struct {
+	Columns []string
+	Values  tuple.Tuple
+}
+
+// Get returns the value of the named column; ok is false if absent.
+func (r Row) Get(name string) (v interface{ String() string }, ok bool) {
+	for i, c := range r.Columns {
+		if c == name {
+			return r.Values[i], true
+		}
+	}
+	return nil, false
+}
+
+// Options configures query compilation.
+type Options struct {
+	// Schema is the input stream schema; nil means the PKT packet schema.
+	Schema *tuple.Schema
+	// Registry supplies stateful functions; nil means the full standard
+	// library (sfunlib) seeded with Seed.
+	Registry *sfun.Registry
+	// Seed seeds the randomized library functions when Registry is nil.
+	Seed uint64
+	// Emit receives output rows as they are produced; nil collects them
+	// in Query.Rows.
+	Emit func(Row) error
+}
+
+// Query is a compiled, running sampling query.
+type Query struct {
+	plan *gsql.Plan
+	op   *operator.Operator
+	cols []string
+	emit func(Row) error
+
+	// Rows accumulates output when no Emit callback was configured.
+	Rows []Row
+
+	scratch tuple.Tuple
+}
+
+// Compile parses, analyzes and instantiates a sampling query.
+func Compile(src string, opts Options) (*Query, error) {
+	schema := opts.Schema
+	if schema == nil {
+		schema = trace.Schema()
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = sfunlib.Default(opts.Seed)
+	}
+	parsed, err := gsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := gsql.Analyze(parsed, schema, reg)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{plan: plan, cols: plan.SelectNames, emit: opts.Emit}
+	if schema.Name() == trace.Schema().Name() && schema.NumFields() == trace.NumFields {
+		q.scratch = make(tuple.Tuple, trace.NumFields)
+	}
+	q.op, err = operator.New(plan, func(row tuple.Tuple) error {
+		r := Row{Columns: q.cols, Values: row}
+		if q.emit != nil {
+			return q.emit(r)
+		}
+		q.Rows = append(q.Rows, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Columns returns the output column names.
+func (q *Query) Columns() []string { return q.cols }
+
+// Plan exposes the compiled plan (for engine composition).
+func (q *Query) Plan() *gsql.Plan { return q.plan }
+
+// ProcessTuple offers one input tuple.
+func (q *Query) ProcessTuple(t tuple.Tuple) error { return q.op.Process(t) }
+
+// ProcessPacket offers one packet; the query must read the PKT schema.
+func (q *Query) ProcessPacket(p trace.Packet) error {
+	if q.scratch == nil {
+		return fmt.Errorf("core: query does not read the PKT schema")
+	}
+	p.AppendTuple(q.scratch)
+	return q.op.Process(q.scratch)
+}
+
+// RunFeed drains an entire packet feed through the query and flushes.
+func (q *Query) RunFeed(feed trace.Feed) error {
+	for {
+		p, ok := feed.Next()
+		if !ok {
+			break
+		}
+		if err := q.ProcessPacket(p); err != nil {
+			return err
+		}
+	}
+	return q.Flush()
+}
+
+// Flush closes the current window, emitting its sample.
+func (q *Query) Flush() error { return q.op.Flush() }
+
+// Stats returns the operator's activity counters.
+func (q *Query) Stats() operator.Stats { return q.op.Stats() }

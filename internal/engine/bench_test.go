@@ -1,0 +1,112 @@
+package engine_test
+
+import (
+	"testing"
+
+	"streamop/internal/engine"
+	"streamop/internal/gsql"
+	"streamop/internal/sfunlib"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// buildBenchTopology wires the standard two-level topology (pass-through
+// low, per-second aggregation high).
+func buildBenchTopology(b *testing.B) *engine.Engine {
+	b.Helper()
+	e, _ := engine.New(8192)
+	low, err := e.AddLowLevel("l", mustPlanB(b, "SELECT time, srcIP, len, uts FROM PKT", trace.Schema()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	high := mustPlanB(b, "SELECT tb, srcIP, sum(len) FROM l GROUP BY time/1 as tb, srcIP", low.Schema())
+	if _, err := e.AddHighLevel("h", low, high); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchPackets(b *testing.B, n int) []trace.Packet {
+	b.Helper()
+	cfg := trace.SteadyConfig{Seed: 1, Duration: float64(n) / 100000, Rate: 100000, Hosts: 256}
+	feed, err := trace.NewSteady(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace.Collect(feed)
+}
+
+// BenchmarkEngineRun measures the single-threaded end-to-end per-packet
+// cost of the two-level topology.
+func BenchmarkEngineRun(b *testing.B) {
+	pkts := benchPackets(b, 100000)
+	b.ResetTimer()
+	processed := 0
+	for processed < b.N {
+		b.StopTimer()
+		e := buildBenchTopology(b)
+		b.StartTimer()
+		if err := e.Run(sliceFeed(pkts)); err != nil {
+			b.Fatal(err)
+		}
+		processed += len(pkts)
+	}
+	b.ReportMetric(float64(len(pkts)), "pkts/run")
+}
+
+// BenchmarkEngineRunParallel measures the concurrent (unpaced,
+// backpressured) end-to-end cost of the same topology.
+func BenchmarkEngineRunParallel(b *testing.B) {
+	pkts := benchPackets(b, 100000)
+	b.ResetTimer()
+	processed := 0
+	for processed < b.N {
+		b.StopTimer()
+		e := buildBenchTopology(b)
+		b.StartTimer()
+		if err := e.RunParallel(sliceFeed(pkts), 0); err != nil {
+			b.Fatal(err)
+		}
+		processed += len(pkts)
+	}
+	b.ReportMetric(float64(len(pkts)), "pkts/run")
+}
+
+// BenchmarkPartialAggProcess measures the partial-aggregation fast path.
+func BenchmarkPartialAggProcess(b *testing.B) {
+	pkts := benchPackets(b, 100000)
+	e, _ := engine.New(8192)
+	plan := mustPlanB(b, "SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/1 as tb, srcIP", trace.Schema())
+	if _, err := e.AddLowLevelPartialAgg("p", plan, 4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	processed := 0
+	for processed < b.N {
+		b.StopTimer()
+		e2, _ := engine.New(8192)
+		plan2 := mustPlanB(b, "SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/1 as tb, srcIP", trace.Schema())
+		if _, err := e2.AddLowLevelPartialAgg("p", plan2, 4096); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := e2.Run(sliceFeed(pkts)); err != nil {
+			b.Fatal(err)
+		}
+		processed += len(pkts)
+	}
+}
+
+// mustPlanB is the benchmark-friendly version of mustPlan.
+func mustPlanB(b *testing.B, src string, schema *tuple.Schema) *gsql.Plan {
+	b.Helper()
+	q, err := gsql.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := gsql.Analyze(q, schema, sfunlib.Default(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

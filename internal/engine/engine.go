@@ -1,0 +1,322 @@
+// Package engine implements the two-level Gigascope architecture of the
+// paper's Figure 1: a packet source feeds a ring buffer; low-level query
+// nodes drain the ring, performing early data reduction (selection, partial
+// aggregation, pushed-down basic sampling); high-level nodes consume the
+// tuple streams low-level nodes produce; applications subscribe to any
+// node.
+//
+// The engine substitutes for the paper's dual-CPU testbed: node cost is
+// measured as wall-clock nanoseconds spent inside each node's processing
+// loop, and utilization is that busy time divided by the simulated
+// duration of the packet stream — the fraction of one CPU the node needs
+// to keep up with the offered load, the quantity Figures 5 and 6 plot.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"streamop/internal/gsql"
+	"streamop/internal/operator"
+	"streamop/internal/ringbuf"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// NodeStats reports one node's activity and cost.
+type NodeStats struct {
+	Name      string
+	TuplesIn  int64
+	TuplesOut int64
+	// Busy is the wall-clock time spent inside this node's processing
+	// loop (including per-tuple conversion for low-level nodes).
+	Busy time.Duration
+	// Operator carries the underlying operator's counters.
+	Operator operator.Stats
+}
+
+// Node is one query node. Low-level nodes consume packets; high-level
+// nodes consume another node's output tuples.
+type Node struct {
+	name   string
+	plan   *gsql.Plan
+	op     *operator.Operator
+	schema *tuple.Schema // output schema
+	subs   []*Node
+	apps   []func(tuple.Tuple) error
+	queue  []tuple.Tuple // pending input for high-level nodes (Run)
+	// parallelChans, when non-nil, redirects emissions to subscriber
+	// channels (RunParallel).
+	parallelChans map[*Node]chan tuple.Tuple
+	busy          time.Duration
+	tuplesIn      int64
+	out           int64
+	low           bool
+}
+
+// Schema returns the node's output stream schema.
+func (n *Node) Schema() *tuple.Schema { return n.schema }
+
+// Subscribe registers an application callback for the node's output.
+func (n *Node) Subscribe(fn func(tuple.Tuple) error) { n.apps = append(n.apps, fn) }
+
+// Stats returns the node's counters.
+func (n *Node) Stats() NodeStats {
+	st := NodeStats{
+		Name:      n.name,
+		TuplesIn:  n.tuplesIn,
+		TuplesOut: n.out,
+		Busy:      n.busy,
+	}
+	if n.op != nil { // partial-aggregation nodes have no operator
+		st.Operator = n.op.Stats()
+	}
+	return st
+}
+
+// emit fans one output row out to subscribers and applications. Each
+// subscriber receives its own copy, and the copy is charged to this node:
+// Gigascope pays a per-tuple copy to move data from a low-level query into
+// a high-level query's buffer, and that copy cost — proportional to the
+// number of forwarded tuples — is what the paper's Figure 6 low-level
+// numbers measure.
+func (n *Node) emit(row tuple.Tuple) error {
+	n.out++
+	if n.parallelChans != nil {
+		for _, sub := range n.subs {
+			n.parallelChans[sub] <- row.Clone()
+		}
+	} else {
+		for _, sub := range n.subs {
+			sub.queue = append(sub.queue, row.Clone())
+		}
+	}
+	for _, app := range n.apps {
+		if err := app(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Engine wires a packet feed to a tree of query nodes and runs them to
+// completion, single-threaded and deterministic.
+type Engine struct {
+	ring       *ringbuf.Ring[trace.Packet]
+	low        []*Node
+	lowPartial []*PartialNode
+	high       []*Node // topological order (parents before children)
+	names      map[string]bool
+
+	firstTS, lastTS uint64
+	packets         int64
+	sawPacket       bool
+}
+
+// New returns an engine with a ring buffer of the given capacity
+// (Gigascope uses fixed-size buffers at the low level).
+func New(ringSize int) (*Engine, error) {
+	ring, err := ringbuf.New[trace.Packet](ringSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ring: ring, names: map[string]bool{}}, nil
+}
+
+func (e *Engine) checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("engine: node name must not be empty")
+	}
+	if e.names[name] {
+		return fmt.Errorf("engine: duplicate node name %q", name)
+	}
+	e.names[name] = true
+	return nil
+}
+
+// AddLowLevel registers a low-level query node: its plan must read the PKT
+// schema. Low-level queries perform the early data reduction Gigascope
+// depends on; currently selection and sampling/aggregation plans are both
+// accepted (the paper notes real Gigascope restricts low-level nodes to
+// selection and partial aggregation — the CPU experiments quantify why).
+func (e *Engine) AddLowLevel(name string, plan *gsql.Plan) (*Node, error) {
+	if plan.Schema.Name() != trace.Schema().Name() {
+		return nil, fmt.Errorf("engine: low-level node %q must read PKT, got %q", name, plan.Schema.Name())
+	}
+	schema, err := plan.OutputSchema(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkName(name); err != nil {
+		return nil, err
+	}
+	n := &Node{name: name, plan: plan, schema: schema, low: true}
+	n.op, err = operator.New(plan, n.emit)
+	if err != nil {
+		return nil, err
+	}
+	e.low = append(e.low, n)
+	return n, nil
+}
+
+// AddHighLevel registers a high-level node reading parent's output stream.
+func (e *Engine) AddHighLevel(name string, parent *Node, plan *gsql.Plan) (*Node, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("engine: high-level node %q needs a parent", name)
+	}
+	if plan.Schema != parent.schema {
+		return nil, fmt.Errorf("engine: node %q plan must be analyzed against parent %q's output schema", name, parent.name)
+	}
+	schema, err := plan.OutputSchema(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkName(name); err != nil {
+		return nil, err
+	}
+	n := &Node{name: name, plan: plan, schema: schema}
+	n.op, err = operator.New(plan, n.emit)
+	if err != nil {
+		return nil, err
+	}
+	parent.subs = append(parent.subs, n)
+	e.high = append(e.high, n)
+	return n, nil
+}
+
+// Run drains the feed through the node tree to completion.
+func (e *Engine) Run(feed trace.Feed) error {
+	if len(e.low) == 0 && len(e.lowPartial) == 0 {
+		return fmt.Errorf("engine: no low-level nodes")
+	}
+	const batch = 512
+	pkts := make([]trace.Packet, batch)
+	scratch := make(tuple.Tuple, trace.NumFields)
+	done := false
+	for !done {
+		// Producer: fill the ring from the feed.
+		for e.ring.Len() < e.ring.Cap() {
+			p, ok := feed.Next()
+			if !ok {
+				done = true
+				break
+			}
+			if !e.sawPacket {
+				e.firstTS = p.Time
+				e.sawPacket = true
+			}
+			e.lastTS = p.Time
+			e.packets++
+			e.ring.Push(p)
+		}
+		// Low-level consumers drain the ring in batches.
+		for {
+			n := e.ring.PopBatch(pkts)
+			if n == 0 {
+				break
+			}
+			for _, low := range e.low {
+				start := time.Now()
+				for i := 0; i < n; i++ {
+					pkts[i].AppendTuple(scratch)
+					low.tuplesIn++
+					if err := low.op.Process(scratch); err != nil {
+						low.busy += time.Since(start)
+						return fmt.Errorf("engine: node %q: %w", low.name, err)
+					}
+				}
+				low.busy += time.Since(start)
+			}
+			if err := e.runPartialBatch(pkts, n, scratch); err != nil {
+				return err
+			}
+			if err := e.drainHigh(); err != nil {
+				return err
+			}
+		}
+	}
+	// End of stream: flush bottom-up.
+	for _, low := range e.low {
+		start := time.Now()
+		err := low.op.Flush()
+		low.busy += time.Since(start)
+		if err != nil {
+			return fmt.Errorf("engine: node %q: %w", low.name, err)
+		}
+	}
+	if err := e.flushPartial(); err != nil {
+		return err
+	}
+	if err := e.drainHigh(); err != nil {
+		return err
+	}
+	for _, h := range e.high {
+		start := time.Now()
+		err := h.op.Flush()
+		h.busy += time.Since(start)
+		if err != nil {
+			return fmt.Errorf("engine: node %q: %w", h.name, err)
+		}
+		if err := e.drainHigh(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainHigh processes queued tuples at every high-level node, in
+// topological order so cascades settle within one call.
+func (e *Engine) drainHigh() error {
+	for _, h := range e.high {
+		if len(h.queue) == 0 {
+			continue
+		}
+		q := h.queue
+		h.queue = nil
+		start := time.Now()
+		for _, row := range q {
+			h.tuplesIn++
+			if err := h.op.Process(row); err != nil {
+				h.busy += time.Since(start)
+				return fmt.Errorf("engine: node %q: %w", h.name, err)
+			}
+		}
+		h.busy += time.Since(start)
+	}
+	return nil
+}
+
+// StreamDuration returns the simulated duration of the processed stream.
+func (e *Engine) StreamDuration() time.Duration {
+	if !e.sawPacket {
+		return 0
+	}
+	return time.Duration(e.lastTS - e.firstTS)
+}
+
+// Packets returns the number of packets offered.
+func (e *Engine) Packets() int64 { return e.packets }
+
+// Drops returns packets dropped at the ring buffer.
+func (e *Engine) Drops() uint64 { return e.ring.Drops() }
+
+// Utilization returns node busy time divided by the simulated stream
+// duration: the fraction of one CPU the node consumes to keep up with the
+// offered load (the y-axis of the paper's Figures 5 and 6).
+func (e *Engine) Utilization(n *Node) float64 {
+	d := e.StreamDuration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(n.busy) / float64(d)
+}
+
+// Nodes returns every node, low-level first.
+func (e *Engine) Nodes() []*Node {
+	out := make([]*Node, 0, len(e.low)+len(e.lowPartial)+len(e.high))
+	out = append(out, e.low...)
+	for _, n := range e.lowPartial {
+		out = append(out, &n.Node)
+	}
+	return append(out, e.high...)
+}

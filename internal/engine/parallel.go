@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"streamop/internal/ringbuf"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// RunParallel runs the node tree with real concurrency, the way Gigascope
+// deploys it: the packet producer, every low-level node and every
+// high-level node each run on their own goroutine, connected by bounded
+// buffers. Each low-level node drains a private SPSC ring fed by the
+// producer.
+//
+// speedup > 0 paces the producer by packet timestamps accelerated by that
+// factor (speedup 100 replays a 10-second capture in 100 ms). Under
+// pacing the producer never waits for consumers: a node that cannot keep
+// up with the offered rate overflows its ring and packets are DROPPED and
+// counted — exactly the line-rate failure mode the paper's low-level
+// queries exist to avoid. speedup <= 0 disables pacing; the producer then
+// applies backpressure (retries a full ring) so nothing drops.
+//
+// Output ordering within one node is preserved; interleaving across nodes
+// is nondeterministic. Busy-time accounting still works per node, but
+// utilization comparisons are cleanest under Run, which is single-threaded
+// and deterministic.
+func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
+	if len(e.low) == 0 {
+		return fmt.Errorf("engine: no low-level nodes")
+	}
+	if len(e.lowPartial) > 0 {
+		return fmt.Errorf("engine: RunParallel does not support partial-aggregation nodes yet")
+	}
+
+	// Private ring per low-level node, same capacity as the source ring.
+	rings := make([]*ringbuf.Ring[trace.Packet], len(e.low))
+	for i := range rings {
+		r, err := ringbuf.New[trace.Packet](e.ring.Cap())
+		if err != nil {
+			return err
+		}
+		rings[i] = r
+	}
+	// Bounded channel per high-level node.
+	chans := make(map[*Node]chan tuple.Tuple, len(e.high))
+	for _, h := range e.high {
+		chans[h] = make(chan tuple.Tuple, 4096)
+	}
+
+	errs := make(chan error, 1+len(e.low)+len(e.high))
+	reportErr := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Producer.
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		startWall := time.Now()
+		for {
+			p, ok := feed.Next()
+			if !ok {
+				return
+			}
+			if !e.sawPacket {
+				e.firstTS = p.Time
+				e.sawPacket = true
+			}
+			e.lastTS = p.Time
+			e.packets++
+			if speedup > 0 {
+				// Pace to the accelerated capture clock, then offer
+				// once: a full ring is a dropped packet.
+				target := time.Duration(float64(p.Time-e.firstTS) / speedup)
+				for time.Since(startWall) < target {
+					runtime.Gosched()
+				}
+				for _, r := range rings {
+					r.Push(p)
+				}
+			} else {
+				// Unpaced: backpressure instead of drops.
+				for _, r := range rings {
+					for !r.Push(p) {
+						runtime.Gosched()
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+
+	// Low-level consumers.
+	for i, low := range e.low {
+		wg.Add(1)
+		go func(low *Node, ring *ringbuf.Ring[trace.Packet]) {
+			defer wg.Done()
+			batch := make([]trace.Packet, 256)
+			scratch := make(tuple.Tuple, trace.NumFields)
+			for {
+				n := ring.PopBatch(batch)
+				if n == 0 {
+					select {
+					case <-producerDone:
+						if ring.Len() == 0 {
+							e.finishLow(low, chans, reportErr)
+							return
+						}
+					default:
+						runtime.Gosched()
+					}
+					continue
+				}
+				start := time.Now()
+				for j := 0; j < n; j++ {
+					batch[j].AppendTuple(scratch)
+					low.tuplesIn++
+					if err := low.processParallel(scratch, chans); err != nil {
+						low.busy += time.Since(start)
+						reportErr(fmt.Errorf("engine: node %q: %w", low.name, err))
+						e.finishLow(low, chans, reportErr)
+						return
+					}
+				}
+				low.busy += time.Since(start)
+			}
+		}(low, rings[i])
+	}
+
+	// High-level consumers (each node's channel is closed by its parent
+	// after the parent flushes).
+	for _, h := range e.high {
+		wg.Add(1)
+		go func(h *Node) {
+			defer wg.Done()
+			failed := false
+			for row := range chans[h] {
+				if failed {
+					continue // drain so the parent never blocks
+				}
+				start := time.Now()
+				h.tuplesIn++
+				err := h.opProcessParallel(row, chans)
+				h.busy += time.Since(start)
+				if err != nil {
+					reportErr(fmt.Errorf("engine: node %q: %w", h.name, err))
+					failed = true
+				}
+			}
+			if !failed {
+				start := time.Now()
+				err := h.opFlushParallel(chans)
+				h.busy += time.Since(start)
+				if err != nil {
+					reportErr(fmt.Errorf("engine: node %q: %w", h.name, err))
+				}
+			}
+			for _, sub := range h.subs {
+				close(chans[sub])
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// finishLow flushes a low node and closes its subscribers' channels.
+func (e *Engine) finishLow(low *Node, chans map[*Node]chan tuple.Tuple, reportErr func(error)) {
+	start := time.Now()
+	err := low.opFlushParallel(chans)
+	low.busy += time.Since(start)
+	if err != nil {
+		reportErr(fmt.Errorf("engine: node %q: %w", low.name, err))
+	}
+	for _, sub := range low.subs {
+		close(chans[sub])
+	}
+}
+
+// processParallel and friends route the node's emissions to subscriber
+// channels for the duration of the call (emit checks parallelChans).
+// Channel sends block when a consumer falls behind: backpressure instead
+// of unbounded queueing.
+func (n *Node) processParallel(t tuple.Tuple, chans map[*Node]chan tuple.Tuple) error {
+	n.parallelChans = chans
+	defer func() { n.parallelChans = nil }()
+	return n.op.Process(t)
+}
+
+func (n *Node) opProcessParallel(t tuple.Tuple, chans map[*Node]chan tuple.Tuple) error {
+	n.parallelChans = chans
+	defer func() { n.parallelChans = nil }()
+	return n.op.Process(t)
+}
+
+func (n *Node) opFlushParallel(chans map[*Node]chan tuple.Tuple) error {
+	n.parallelChans = chans
+	defer func() { n.parallelChans = nil }()
+	return n.op.Flush()
+}

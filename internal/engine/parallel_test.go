@@ -1,0 +1,149 @@
+package engine_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamop/internal/engine"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// buildCounting builds a two-level topology (pass-through low, per-second
+// counting high) and returns the engine and an atomic total.
+func buildCounting(t *testing.T) (*engine.Engine, *atomic.Int64) {
+	t.Helper()
+	e, _ := engine.New(8192)
+	low := mustPlan(t, "SELECT time, len, uts FROM PKT", trace.Schema())
+	lowNode, err := e.AddLowLevel("l", low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := mustPlan(t, "SELECT tb, count(*) FROM l GROUP BY time/1 as tb", lowNode.Schema())
+	n, err := e.AddHighLevel("h", lowNode, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total atomic.Int64
+	n.Subscribe(func(row tuple.Tuple) error {
+		total.Add(row[1].AsInt())
+		return nil
+	})
+	return e, &total
+}
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	cfg := trace.SteadyConfig{Seed: 31, Duration: 2, Rate: 20000}
+
+	eSeq, seqTotal := buildCounting(t)
+	feed1, _ := trace.NewSteady(cfg)
+	if err := eSeq.Run(feed1); err != nil {
+		t.Fatal(err)
+	}
+
+	ePar, parTotal := buildCounting(t)
+	feed2, _ := trace.NewSteady(cfg)
+	if err := ePar.RunParallel(feed2, 0); err != nil { // unpaced: backpressure, no drops
+		t.Fatal(err)
+	}
+
+	if seqTotal.Load() != parTotal.Load() {
+		t.Errorf("parallel counted %d, sequential %d", parTotal.Load(), seqTotal.Load())
+	}
+	if ePar.Packets() != eSeq.Packets() {
+		t.Errorf("packets: parallel %d, sequential %d", ePar.Packets(), eSeq.Packets())
+	}
+}
+
+func TestRunParallelSamplingQuery(t *testing.T) {
+	e, _ := engine.New(8192)
+	low := mustPlan(t, "SELECT time, srcIP, len, uts FROM PKT", trace.Schema())
+	lowNode, err := e.AddLowLevel("sel", low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := mustPlan(t, `
+SELECT tb, uts, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM sel
+WHERE ssample(len, 200, 2, 10) = TRUE
+GROUP BY time/2 as tb, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`, lowNode.Schema())
+	n, err := e.AddHighLevel("ss", lowNode, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows atomic.Int64
+	var est int64 // scaled float via atomic
+	n.Subscribe(func(row tuple.Tuple) error {
+		rows.Add(1)
+		atomic.AddInt64(&est, int64(row[2].AsFloat()))
+		return nil
+	})
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 32, Duration: 3.9, Rate: 30000})
+	if err := e.RunParallel(feed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Load(); got == 0 || got > 2*200 {
+		t.Errorf("rows = %d", got)
+	}
+	// ~30000 pps * ~690B * 3.9s
+	actual := int64(30000 * 690 * 3.9)
+	if est < actual/2 || est > actual*2 {
+		t.Errorf("estimate %d wildly off actual ~%d", est, actual)
+	}
+}
+
+func TestRunParallelDropsWhenOverloaded(t *testing.T) {
+	// A deliberately slow subscriber with a tiny ring: the producer must
+	// not block; packets drop and are counted.
+	e, _ := engine.New(64)
+	low := mustPlan(t, "SELECT uts FROM PKT", trace.Schema())
+	n, err := e.AddLowLevel("slow", low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Subscribe(func(tuple.Tuple) error {
+		time.Sleep(20 * time.Microsecond)
+		return nil
+	})
+	// Paced at real time: 200k pps offered against a ~20us/packet
+	// consumer must overflow the 64-slot ring.
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 33, Duration: 0.5, Rate: 200000})
+	if err := e.RunParallel(feed, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.TuplesIn >= e.Packets() {
+		t.Errorf("slow node processed all %d packets; expected drops", e.Packets())
+	}
+	t.Logf("processed %d of %d (drops observed at the ring)", st.TuplesIn, e.Packets())
+}
+
+func TestRunParallelErrorPropagates(t *testing.T) {
+	e, _ := engine.New(1024)
+	low := mustPlan(t, "SELECT time, len, uts FROM PKT", trace.Schema())
+	lowNode, _ := e.AddLowLevel("l", low)
+	boom := mustPlan(t, "SELECT tb, sum(len/(len-len)) FROM l GROUP BY time/1 as tb", lowNode.Schema())
+	if _, err := e.AddHighLevel("boom", lowNode, boom); err != nil {
+		t.Fatal(err)
+	}
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 34, Duration: 0.2, Rate: 5000})
+	if err := e.RunParallel(feed, 0); err == nil {
+		t.Error("high-level error swallowed in parallel mode")
+	}
+}
+
+func TestRunParallelRejectsPartialNodes(t *testing.T) {
+	e, _ := engine.New(1024)
+	plan := mustPlan(t, "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb", trace.Schema())
+	if _, err := e.AddLowLevelPartialAgg("p", plan, 16); err != nil {
+		t.Fatal(err)
+	}
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 35, Duration: 0.1, Rate: 1000})
+	if err := e.RunParallel(feed, 0); err == nil {
+		t.Error("RunParallel accepted partial nodes")
+	}
+}

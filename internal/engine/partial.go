@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"streamop/internal/agg"
+	"streamop/internal/gsql"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// Low-level partial aggregation: real Gigascope restricts low-level
+// queries to selection and *partial* aggregation — a fixed-size
+// direct-mapped group table that evicts (emits) the resident group on a
+// collision instead of growing, so the fast path stays allocation-free and
+// bounded. The high-level query re-aggregates the partial rows; the
+// paper's §8 notes this is the right low-level support for the
+// Manku-Motwani heavy hitters algorithm.
+
+// partialGroup is one slot of the direct-mapped table.
+type partialGroup struct {
+	used bool
+	key  tuple.Key
+	aggs []agg.Agg
+}
+
+// PartialNode is a low-level partial-aggregation query node.
+type PartialNode struct {
+	Node
+	slots    []partialGroup
+	mask     uint64
+	plan     *gsql.Plan
+	ctx      gsql.Ctx
+	gbVals   []value.Value
+	window   []value.Value
+	winOpen  bool
+	evictons int64
+}
+
+// AddLowLevelPartialAgg registers a low-level partial-aggregation node.
+// plan must be a grouping query over PKT without sampling clauses or
+// superaggregates (low-level nodes are deliberately simple). slots is
+// rounded up to a power of two.
+func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) (*PartialNode, error) {
+	if plan.Schema.Name() != trace.Schema().Name() {
+		return nil, fmt.Errorf("engine: partial-agg node %q must read PKT, got %q", name, plan.Schema.Name())
+	}
+	if plan.IsSelection {
+		return nil, fmt.Errorf("engine: partial-agg node %q needs GROUP BY", name)
+	}
+	if plan.Where != nil || plan.Having != nil || plan.CleaningWhen != nil || plan.CleaningBy != nil ||
+		len(plan.Supers) > 0 || len(plan.States) > 0 {
+		return nil, fmt.Errorf("engine: partial-agg node %q supports plain grouping/aggregation only", name)
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("engine: partial-agg node %q needs at least 1 slot", name)
+	}
+	if err := e.checkName(name); err != nil {
+		return nil, err
+	}
+	size := 1
+	for size < slots {
+		size <<= 1
+	}
+	schema, err := plan.OutputSchema(name)
+	if err != nil {
+		return nil, err
+	}
+	n := &PartialNode{
+		Node:   Node{name: name, plan: plan, schema: schema, low: true},
+		slots:  make([]partialGroup, size),
+		mask:   uint64(size - 1),
+		plan:   plan,
+		gbVals: make([]value.Value, len(plan.GroupBy)),
+	}
+	e.lowPartial = append(e.lowPartial, n)
+	return n, nil
+}
+
+// Evictions returns the number of partial rows emitted due to slot
+// collisions (as opposed to window closes): the measure of how undersized
+// the table is for the workload.
+func (n *PartialNode) Evictions() int64 { return n.evictons }
+
+// process folds one packet tuple into the table.
+func (n *PartialNode) process(t tuple.Tuple) error {
+	n.tuplesIn++
+	n.ctx = gsql.Ctx{Tuple: t}
+	for i, gb := range n.plan.GroupBy {
+		v, err := gb(&n.ctx)
+		if err != nil {
+			return fmt.Errorf("partial-agg %q: group-by: %w", n.name, err)
+		}
+		n.gbVals[i] = v
+	}
+	n.ctx.GroupVals = n.gbVals
+
+	// Window boundary: flush every resident group.
+	if n.winOpen && n.orderedChanged() {
+		if err := n.flush(); err != nil {
+			return err
+		}
+	}
+	if !n.winOpen {
+		n.winOpen = true
+		n.window = n.window[:0]
+		for _, idx := range n.plan.OrderedIdx {
+			n.window = append(n.window, n.gbVals[idx])
+		}
+	}
+
+	key := tuple.MakeKey(n.gbVals)
+	slot := &n.slots[key.Hash()&n.mask]
+	if slot.used && !slot.key.Equal(key) {
+		// Collision: emit the resident partial row and take the slot.
+		if err := n.emitSlot(slot); err != nil {
+			return err
+		}
+		slot.used = false
+		n.evictons++
+	}
+	if !slot.used {
+		slot.used = true
+		slot.key = key
+		if slot.aggs == nil {
+			slot.aggs = make([]agg.Agg, len(n.plan.Aggs))
+		}
+		for i, def := range n.plan.Aggs {
+			slot.aggs[i] = def.New()
+		}
+	}
+	for i := range n.plan.Aggs {
+		def := &n.plan.Aggs[i]
+		var v value.Value
+		if def.Arg != nil {
+			var err error
+			if v, err = def.Arg(&n.ctx); err != nil {
+				return fmt.Errorf("partial-agg %q: %s: %w", n.name, def.Display, err)
+			}
+		}
+		slot.aggs[i].Update(v)
+	}
+	return nil
+}
+
+func (n *PartialNode) orderedChanged() bool {
+	for i, idx := range n.plan.OrderedIdx {
+		if !value.Equal(n.window[i], n.gbVals[idx]) {
+			return true
+		}
+	}
+	return false
+}
+
+// emitSlot evaluates the SELECT list for one resident group and emits it.
+func (n *PartialNode) emitSlot(slot *partialGroup) error {
+	ctx := gsql.Ctx{GroupVals: slot.key.Values(), Aggs: slot.aggs}
+	row := make(tuple.Tuple, len(n.plan.SelectExprs))
+	for i, sel := range n.plan.SelectExprs {
+		v, err := sel(&ctx)
+		if err != nil {
+			return fmt.Errorf("partial-agg %q: SELECT %s: %w", n.name, n.plan.SelectNames[i], err)
+		}
+		row[i] = v
+	}
+	return n.emit(row)
+}
+
+// flush emits every resident group and clears the table.
+func (n *PartialNode) flush() error {
+	for i := range n.slots {
+		if n.slots[i].used {
+			if err := n.emitSlot(&n.slots[i]); err != nil {
+				return err
+			}
+			n.slots[i].used = false
+		}
+	}
+	n.winOpen = false
+	return nil
+}
+
+// runPartialBatch feeds a batch of packets through every partial node,
+// charging busy time per node.
+func (e *Engine) runPartialBatch(pkts []trace.Packet, count int, scratch tuple.Tuple) error {
+	for _, n := range e.lowPartial {
+		start := time.Now()
+		for i := 0; i < count; i++ {
+			pkts[i].AppendTuple(scratch)
+			if err := n.process(scratch); err != nil {
+				n.busy += time.Since(start)
+				return err
+			}
+		}
+		n.busy += time.Since(start)
+	}
+	return nil
+}
+
+// flushPartial closes all partial nodes at end of stream.
+func (e *Engine) flushPartial() error {
+	for _, n := range e.lowPartial {
+		start := time.Now()
+		err := n.flush()
+		n.busy += time.Since(start)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Base returns the embedded Node, for AddHighLevel / Utilization /
+// Subscribe composition.
+func (n *PartialNode) Base() *Node { return &n.Node }

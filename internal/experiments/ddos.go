@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"streamop/internal/flow"
+	"streamop/internal/trace"
+)
+
+// DDoSConfig parameterizes the sampled-flows stress test (E8, the
+// conclusion's example).
+type DDoSConfig struct {
+	Seed        uint64
+	DurationSec float64
+	// NaiveBudget is the flow-table memory budget (in flows) granted to
+	// the aggregate-then-sample baseline.
+	NaiveBudget int
+	// TargetSize is N for the integrated sampler.
+	TargetSize int
+}
+
+// DefaultDDoS uses a 30-second capture with a mid-capture flood.
+func DefaultDDoS(seed uint64) DDoSConfig {
+	return DDoSConfig{Seed: seed, DurationSec: 30, NaiveBudget: 100000, TargetSize: 1000}
+}
+
+// DDoSResult reports the behaviour of both pipelines under the flood.
+type DDoSResult struct {
+	Packets int64
+	// NaiveFailed is true when the aggregate-then-sample pipeline ran
+	// out of its flow-table budget (the paper's observed failure).
+	NaiveFailed bool
+	// NaivePeakFlows is the largest naive table size reached (capped at
+	// the budget when it failed).
+	NaivePeakFlows int
+	// IntegratedPeak is the largest integrated-sampler table size; it is
+	// bounded by Bound by construction.
+	IntegratedPeak int
+	Bound          int
+	// SampledFlows is the integrated sampler's output size.
+	SampledFlows int
+	// VolumeRelErr is the integrated estimator's relative error on total
+	// bytes.
+	VolumeRelErr float64
+}
+
+// DDoS runs the flood scenario through the naive aggregate-then-sample
+// pipeline and the integrated sampled-flows operator.
+func DDoS(cfg DDoSConfig) (DDoSResult, error) {
+	feed, err := trace.NewDDoS(trace.DefaultDDoS(cfg.Seed, cfg.DurationSec))
+	if err != nil {
+		return DDoSResult{}, err
+	}
+	integrated, err := flow.NewSampler(flow.Config{
+		TargetSize: cfg.TargetSize, InitialZ: 100, Theta: 2, RelaxFactor: 10,
+	})
+	if err != nil {
+		return DDoSResult{}, err
+	}
+	naive := flow.NewAggregator(cfg.NaiveBudget)
+	res := DDoSResult{Bound: integrated.MaxSize()}
+	var actualBytes float64
+	for {
+		p, ok := feed.Next()
+		if !ok {
+			break
+		}
+		res.Packets++
+		actualBytes += float64(p.Len)
+		integrated.Offer(p)
+		if integrated.Size() > res.IntegratedPeak {
+			res.IntegratedPeak = integrated.Size()
+		}
+		if !res.NaiveFailed {
+			if err := naive.Offer(p); err != nil {
+				res.NaiveFailed = true
+			}
+			if naive.Size() > res.NaivePeakFlows {
+				res.NaivePeakFlows = naive.Size()
+			}
+		}
+	}
+	out := integrated.EndWindow()
+	res.SampledFlows = len(out)
+	res.VolumeRelErr = relErr(flow.EstimateBytes(out), actualBytes)
+	return res, nil
+}
+
+// OverheadResult compares the sampling operator against the hand-coded
+// dynamic subset-sum implementation on the same packet sequence — the
+// genericity-cost ablation.
+type OverheadResult struct {
+	Packets int64
+	// OperatorNSPerPacket / DirectNSPerPacket are mean processing costs.
+	OperatorNSPerPacket, DirectNSPerPacket float64
+	// Factor is operator cost over direct cost.
+	Factor float64
+	// EstimateDelta is the relative difference between the two final
+	// window estimates (a cross-check that both compute the same thing).
+	EstimateDelta float64
+}

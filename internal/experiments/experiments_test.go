@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// eventually retries a wall-clock-sensitive check a few times: these
+// assertions compare node timings and can flake when the host is briefly
+// loaded. A check that fails every attempt is a real regression.
+func eventually(t *testing.T, attempts int, f func() error) {
+	t.Helper()
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", i+1, err)
+	}
+	t.Error(err)
+}
+
+func TestAccuracyReproducesFigures234(t *testing.T) {
+	cfg := DefaultAccuracy(42)
+	cfg.Windows = 16 // enough to include two load collapses
+	pts, err := Accuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	s := Summarize(pts, cfg.N)
+
+	// Figure 2: the relaxed estimates track the actual sums much more
+	// closely than the non-relaxed ones.
+	if s.MeanRelErrRelaxed > 0.10 {
+		t.Errorf("relaxed mean rel err = %v, want < 0.10", s.MeanRelErrRelaxed)
+	}
+	if s.MeanRelErrNonrelaxed < 2*s.MeanRelErrRelaxed {
+		t.Errorf("non-relaxed err %v not clearly worse than relaxed %v",
+			s.MeanRelErrNonrelaxed, s.MeanRelErrRelaxed)
+	}
+
+	// Figure 3: non-relaxed frequently under-samples after collapses.
+	if s.UnderSampledWindowsNon == 0 {
+		t.Error("non-relaxed never under-sampled; bursty feed too tame")
+	}
+	if s.MeanSamplesRelaxed < 0.8*float64(cfg.N) {
+		t.Errorf("relaxed mean samples = %v, want near N", s.MeanSamplesRelaxed)
+	}
+
+	// Figure 4: relaxed triggers more cleaning phases, but only a few.
+	if s.SteadyCleaningsRelaxed <= s.SteadyCleaningsNonrelaxed {
+		t.Errorf("relaxed cleanings %v not above non-relaxed %v",
+			s.SteadyCleaningsRelaxed, s.SteadyCleaningsNonrelaxed)
+	}
+	if s.SteadyCleaningsRelaxed > 20 {
+		t.Errorf("relaxed cleanings/window = %v, implausibly many", s.SteadyCleaningsRelaxed)
+	}
+}
+
+func smallCPUConfig() CPUConfig {
+	return CPUConfig{
+		Seed: 7, DurationSec: 1.9, WindowSec: 1, Rate: 50000,
+		SampleSizes: []int{100, 1000}, Theta: 2, RelaxF: 10,
+	}
+}
+
+func TestCPUUsageShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock CPU ordering is not meaningful under the race detector")
+	}
+	eventually(t, 3, func() error {
+		pts, err := CPUUsage(smallCPUConfig())
+		if err != nil {
+			return err
+		}
+		if len(pts) != 2 {
+			return fmt.Errorf("points = %d", len(pts))
+		}
+		for _, p := range pts {
+			if p.Relaxed <= 0 || p.Nonrelaxed <= 0 || p.BasicSS <= 0 {
+				return fmt.Errorf("non-positive CPU at N=%d: %+v", p.Samples, p)
+			}
+			// Figure 5's ordering: the full sampling operator costs
+			// more than the bare selection UDF, but the overhead is
+			// bounded (the paper reports 3-5 percentage points; allow
+			// generous slack for wall-clock noise).
+			if p.Relaxed < p.BasicSS*0.8 {
+				return fmt.Errorf("N=%d: relaxed operator (%v) cheaper than basic UDF (%v)",
+					p.Samples, p.Relaxed, p.BasicSS)
+			}
+			if p.Relaxed > p.BasicSS*20 {
+				return fmt.Errorf("N=%d: operator overhead implausible: %v vs %v",
+					p.Samples, p.Relaxed, p.BasicSS)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLowLevelEffectShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock CPU ordering is not meaningful under the race detector")
+	}
+	eventually(t, 3, func() error {
+		pts, err := LowLevelEffect(smallCPUConfig())
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			// Figure 6's direction: the basic-SS pushdown reduces both
+			// the low-level cost and the high-level sampling cost. The
+			// paper's 60% -> 4% low-level factor came from
+			// inter-process memory copies our in-process engine does
+			// not pay, so the gap here is compressed; the ordering must
+			// still hold clearly.
+			if p.LowBasicSS > 0.95*p.LowSelection {
+				return fmt.Errorf("N=%d: pushdown low CPU %v not below selection %v",
+					p.Samples, p.LowBasicSS, p.LowSelection)
+			}
+			if p.HighBasicSSSub > p.HighSelectionSub {
+				return fmt.Errorf("N=%d: pushdown high CPU %v above selection-fed %v",
+					p.Samples, p.HighBasicSSSub, p.HighSelectionSub)
+			}
+		}
+		return nil
+	})
+}
+
+func TestThetaSweepFlat(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock CPU ordering is not meaningful under the race detector")
+	}
+	cfg := smallCPUConfig()
+	eventually(t, 3, func() error {
+		pts, err := ThetaSweep(cfg, []float64{1.5, 2, 4}, 500)
+		if err != nil {
+			return err
+		}
+		if len(pts) != 3 {
+			return fmt.Errorf("points = %d", len(pts))
+		}
+		// Smaller theta means more frequent cleaning.
+		if pts[0].Cleanings < pts[2].Cleanings {
+			return fmt.Errorf("cleanings not decreasing in theta: %v", pts)
+		}
+		// §7.2: little CPU dependence on theta (allow 4x for timing
+		// noise on a short run).
+		min, max := pts[0].CPU, pts[0].CPU
+		for _, p := range pts {
+			if p.CPU < min {
+				min = p.CPU
+			}
+			if p.CPU > max {
+				max = p.CPU
+			}
+		}
+		if max > 4*min {
+			return fmt.Errorf("CPU varies too much with theta: min %v max %v", min, max)
+		}
+		return nil
+	})
+}
+
+func TestDDoSScenario(t *testing.T) {
+	cfg := DefaultDDoS(3)
+	cfg.DurationSec = 9
+	res, err := DDoS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NaiveFailed {
+		t.Error("naive pipeline survived the flood")
+	}
+	if res.IntegratedPeak > res.Bound {
+		t.Errorf("integrated table peaked at %d > bound %d", res.IntegratedPeak, res.Bound)
+	}
+	if res.SampledFlows == 0 || res.SampledFlows > cfg.TargetSize {
+		t.Errorf("sampled flows = %d", res.SampledFlows)
+	}
+	if res.VolumeRelErr > 0.3 {
+		t.Errorf("volume estimate error = %v", res.VolumeRelErr)
+	}
+}
+
+func TestOverheadAblation(t *testing.T) {
+	res, err := Overhead(5, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("no packets")
+	}
+	if res.Factor < 1 {
+		t.Logf("operator faster than direct (%v); timing noise", res.Factor)
+	}
+	if res.Factor > 200 {
+		t.Errorf("operator overhead factor = %v, implausible", res.Factor)
+	}
+	if res.EstimateDelta > 0.25 {
+		t.Errorf("operator and direct estimates diverge: %v", res.EstimateDelta)
+	}
+}
+
+func TestRelaxSweep(t *testing.T) {
+	pts, err := RelaxSweep(9, []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].MeanRelErr > pts[0].MeanRelErr {
+		t.Errorf("f=10 err %v above f=1 err %v", pts[1].MeanRelErr, pts[0].MeanRelErr)
+	}
+}
+
+func TestHHPushAblation(t *testing.T) {
+	res, err := HHPush(13, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HeavyFoundSelection || !res.HeavyFoundPartial {
+		t.Errorf("heavy source lost: selection=%v partial=%v",
+			res.HeavyFoundSelection, res.HeavyFoundPartial)
+	}
+	// The partial table forwards per-group partial rows instead of every
+	// packet. With only 256 slots against thousands of Zipf sources the
+	// table thrashes, so the reduction is bounded by key locality; it
+	// must still be a clear (>= 2x) win.
+	if res.PartialForwarded*2 > res.SelectionForwarded {
+		t.Errorf("partial forwarded %d of selection's %d; expected >= 2x reduction",
+			res.PartialForwarded, res.SelectionForwarded)
+	}
+	if res.Evictions == 0 {
+		t.Error("256-slot table saw no collisions on a Zipf source pool")
+	}
+	// Both configurations run the heavy-hitter node well below 1% CPU,
+	// where wall-clock ordering is noise; the robust claims are the
+	// forwarding reduction above and correctness. CPU values must merely
+	// be sane.
+	if res.HighCPUSelection <= 0 || res.HighCPUPartial <= 0 {
+		t.Errorf("missing CPU accounting: %v / %v", res.HighCPUSelection, res.HighCPUPartial)
+	}
+}
+
+func TestCascadeTeaser(t *testing.T) {
+	// The conclusion's teaser quantified: a reservoir of 50 over a
+	// subset-sum sample of 1000 estimates the window totals, with
+	// somewhat more error than subset-sum at 50 directly (the inner
+	// adjusted weights are near-constant, so uniform subsampling is
+	// reasonable), and exactly <= 50 final samples per window.
+	res, err := Cascade(17, 7.9, 2, 1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows < 3 {
+		t.Fatalf("windows = %d", res.Windows)
+	}
+	if res.MeanFinalSamples > 50 {
+		t.Errorf("cascade final samples = %v > k", res.MeanFinalSamples)
+	}
+	if res.MeanRelErrCascade > 0.35 {
+		t.Errorf("cascade error = %v", res.MeanRelErrCascade)
+	}
+	if res.MeanRelErrDirect > 0.35 {
+		t.Errorf("direct error = %v", res.MeanRelErrDirect)
+	}
+}

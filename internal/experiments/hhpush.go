@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"streamop/internal/engine"
+	"streamop/internal/gsql"
+	"streamop/internal/sfunlib"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// HHPushResult compares feeding the Manku-Motwani heavy hitters query from
+// a plain low-level selection against feeding it from a fixed-size
+// low-level partial aggregation — the §8 suggestion that "the heavy
+// hitters algorithm would be best supported by aggregation at the
+// low-level queries".
+type HHPushResult struct {
+	Packets int64
+	// SelectionForwarded / PartialForwarded are the tuples each low-level
+	// configuration pushed to the heavy-hitter node.
+	SelectionForwarded, PartialForwarded int64
+	// Evictions is the collision count of the 256-slot partial table.
+	Evictions int64
+	// HighCPUSelection / HighCPUPartial are the heavy-hitter node's CPU
+	// fractions.
+	HighCPUSelection, HighCPUPartial float64
+	// HeavyFoundSelection / HeavyFoundPartial report whether the dominant
+	// source survived to the output in each configuration.
+	HeavyFoundSelection, HeavyFoundPartial bool
+}
+
+type hhRunStats struct {
+	packets   int64
+	forwarded int64
+	evictions int64
+	cpu       float64
+	found     bool
+}
+
+// hhPushRun wires one configuration and runs it over a fresh bursty feed.
+func hhPushRun(seed uint64, durationSec float64, partial bool) (hhRunStats, error) {
+	var out hhRunStats
+	reg := sfunlib.Default(seed)
+	e, err := engine.New(1 << 14)
+	if err != nil {
+		return out, err
+	}
+	var parent *engine.Node
+	var pn *engine.PartialNode
+	if partial {
+		lowQ, err := gsql.Parse(`SELECT tb, srcIP, sum(len) AS bytes, count(*) AS pkts FROM PKT GROUP BY time/60 as tb, srcIP`)
+		if err != nil {
+			return out, err
+		}
+		lowPlan, err := gsql.Analyze(lowQ, trace.Schema(), reg)
+		if err != nil {
+			return out, err
+		}
+		if pn, err = e.AddLowLevelPartialAgg("low", lowPlan, 256); err != nil {
+			return out, err
+		}
+		parent = pn.Base()
+	} else {
+		lowQ, err := gsql.Parse(`SELECT time, srcIP, len, uts FROM PKT`)
+		if err != nil {
+			return out, err
+		}
+		lowPlan, err := gsql.Analyze(lowQ, trace.Schema(), reg)
+		if err != nil {
+			return out, err
+		}
+		if parent, err = e.AddLowLevel("low", lowPlan); err != nil {
+			return out, err
+		}
+	}
+	var highSrc string
+	if partial {
+		highSrc = `
+SELECT tb2, srcIP, sum(bytes), sum(pkts)
+FROM low
+GROUP BY tb/1 as tb2, srcIP
+HAVING sum(pkts) >= 20000
+CLEANING WHEN local_count(200) = TRUE
+CLEANING BY sum(pkts) >= current_bucket() - first(current_bucket())`
+	} else {
+		highSrc = `
+SELECT tb, srcIP, sum(len), count(*)
+FROM low
+GROUP BY time/60 as tb, srcIP
+HAVING count(*) >= 20000
+CLEANING WHEN local_count(1000) = TRUE
+CLEANING BY count(*) >= current_bucket() - first(current_bucket())`
+	}
+	highQ, err := gsql.Parse(highSrc)
+	if err != nil {
+		return out, err
+	}
+	highPlan, err := gsql.Analyze(highQ, parent.Schema(), reg)
+	if err != nil {
+		return out, err
+	}
+	high, err := e.AddHighLevel("hh", parent, highPlan)
+	if err != nil {
+		return out, err
+	}
+	// The bursty feed's Zipf sources make 10.0.0.0 the dominant sender.
+	const heavy = 0x0a000000
+	high.Subscribe(func(row tuple.Tuple) error {
+		if row[1].Uint() == heavy {
+			out.found = true
+		}
+		return nil
+	})
+	feed, err := trace.NewBursty(trace.DefaultBursty(seed, durationSec))
+	if err != nil {
+		return out, err
+	}
+	if err := e.Run(feed); err != nil {
+		return out, err
+	}
+	out.packets = e.Packets()
+	out.forwarded = parent.Stats().TuplesOut
+	if pn != nil {
+		out.evictions = pn.Evictions()
+	}
+	out.cpu = e.Utilization(high)
+	return out, nil
+}
+
+// HHPush runs both configurations over the same bursty feed.
+func HHPush(seed uint64, durationSec float64) (HHPushResult, error) {
+	sel, err := hhPushRun(seed, durationSec, false)
+	if err != nil {
+		return HHPushResult{}, err
+	}
+	par, err := hhPushRun(seed, durationSec, true)
+	if err != nil {
+		return HHPushResult{}, err
+	}
+	return HHPushResult{
+		Packets:             sel.packets,
+		SelectionForwarded:  sel.forwarded,
+		PartialForwarded:    par.forwarded,
+		Evictions:           par.evictions,
+		HighCPUSelection:    sel.cpu,
+		HighCPUPartial:      par.cpu,
+		HeavyFoundSelection: sel.found,
+		HeavyFoundPartial:   par.found,
+	}, nil
+}

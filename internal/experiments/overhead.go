@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"streamop/internal/core"
+	"streamop/internal/sample/subsetsum"
+	"streamop/internal/trace"
+)
+
+// Overhead measures the genericity cost of the sampling operator: dynamic
+// subset-sum sampling expressed as a query versus the hand-coded
+// subsetsum.Dynamic, over the same steady feed.
+func Overhead(seed uint64, duration float64, n int) (OverheadResult, error) {
+	var res OverheadResult
+
+	// Pre-materialize the packets so feed generation is charged to
+	// neither implementation.
+	feed, err := trace.NewSteady(trace.DefaultSteady(seed, duration))
+	if err != nil {
+		return res, err
+	}
+	pkts := trace.Collect(feed)
+	res.Packets = int64(len(pkts))
+
+	// Hand-coded implementation, 2-second windows.
+	d, err := subsetsum.NewDynamic[uint64](subsetsum.Config{
+		TargetSize: n, InitialZ: 1, Theta: 2, RelaxFactor: 10,
+	})
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	var directEst float64
+	prevWindow := uint64(0)
+	for _, p := range pkts {
+		if w := p.Time / 1e9 / 2; w != prevWindow {
+			directEst += subsetsum.Estimate(d.EndWindow())
+			prevWindow = w
+		}
+		d.Offer(float64(p.Len), p.Time)
+	}
+	directEst += subsetsum.Estimate(d.EndWindow())
+	directNS := float64(time.Since(start).Nanoseconds())
+
+	// Operator-expressed query (same window length of 2s).
+	q, err := core.Compile(subsetSumQuery(2, n, 2, 10), core.Options{Seed: seed})
+	if err != nil {
+		return res, err
+	}
+	start = time.Now()
+	for _, p := range pkts {
+		if err := q.ProcessPacket(p); err != nil {
+			return res, err
+		}
+	}
+	if err := q.Flush(); err != nil {
+		return res, err
+	}
+	opNS := float64(time.Since(start).Nanoseconds())
+
+	var opEst float64
+	for _, row := range q.Rows {
+		opEst += row.Values[4].AsFloat()
+	}
+
+	res.OperatorNSPerPacket = opNS / float64(len(pkts))
+	res.DirectNSPerPacket = directNS / float64(len(pkts))
+	if directNS > 0 {
+		res.Factor = opNS / directNS
+	}
+	res.EstimateDelta = relErr(opEst, directEst)
+	return res, nil
+}
+
+// RelaxSweepPoint reports accuracy and cleaning cost for one relaxation
+// factor — the f ablation of the relaxed fix.
+type RelaxSweepPoint struct {
+	F                    float64
+	MeanRelErr           float64
+	MeanSamples          float64
+	CleaningsPerWindowSS float64
+}
+
+// RelaxSweep runs the accuracy experiment across relaxation factors.
+func RelaxSweep(seed uint64, factors []float64) ([]RelaxSweepPoint, error) {
+	var out []RelaxSweepPoint
+	for _, f := range factors {
+		cfg := DefaultAccuracy(seed)
+		cfg.Windows = 12
+		cfg.RelaxF = f
+		pts, err := Accuracy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The "relaxed" lane of Accuracy carries factor f.
+		s := Summarize(pts, cfg.N)
+		out = append(out, RelaxSweepPoint{
+			F:                    f,
+			MeanRelErr:           s.MeanRelErrRelaxed,
+			MeanSamples:          s.MeanSamplesRelaxed,
+			CleaningsPerWindowSS: s.SteadyCleaningsRelaxed,
+		})
+	}
+	return out, nil
+}

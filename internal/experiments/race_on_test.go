@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled relaxes wall-clock-based assertions: the race detector's
+// instrumentation distorts relative node costs by an order of magnitude.
+const raceEnabled = true

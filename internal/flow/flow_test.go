@@ -1,0 +1,202 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"streamop/internal/trace"
+)
+
+func TestAggregatorExact(t *testing.T) {
+	a := NewAggregator(0)
+	pkts := []trace.Packet{
+		{Time: 1, SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 80, Proto: 6, Len: 100},
+		{Time: 2, SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 80, Proto: 6, Len: 200},
+		{Time: 3, SrcIP: 9, DstIP: 2, SrcPort: 11, DstPort: 80, Proto: 6, Len: 50},
+	}
+	for _, p := range pkts {
+		if err := a.Offer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flows := a.Flows()
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	if flows[0].Packets != 2 || flows[0].Bytes != 300 || flows[0].First != 1 || flows[0].Last != 2 {
+		t.Errorf("flow[0] = %+v", flows[0])
+	}
+	if flows[1].Bytes != 50 {
+		t.Errorf("flow[1] = %+v", flows[1])
+	}
+	a.Reset()
+	if a.Size() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestAggregatorBudget(t *testing.T) {
+	a := NewAggregator(2)
+	for i := 0; i < 2; i++ {
+		if err := a.Offer(trace.Packet{SrcIP: uint32(i), Len: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Existing flow still accepted.
+	if err := a.Offer(trace.Packet{SrcIP: 0, Len: 40}); err != nil {
+		t.Errorf("existing flow rejected: %v", err)
+	}
+	// New flow over budget fails.
+	if err := a.Offer(trace.Packet{SrcIP: 99, Len: 40}); err != ErrTableFull {
+		t.Errorf("err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	bad := []Config{
+		{TargetSize: 0, InitialZ: 1, Theta: 2, RelaxFactor: 1},
+		{TargetSize: 1, InitialZ: 0, Theta: 2, RelaxFactor: 1},
+		{TargetSize: 1, InitialZ: 1, Theta: 1, RelaxFactor: 1},
+		{TargetSize: 1, InitialZ: 1, Theta: 2, RelaxFactor: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSampler(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSamplerBoundedUnderDDoS(t *testing.T) {
+	// Millions of distinct tiny flows: the naive aggregator's table
+	// explodes past any budget; the integrated sampler stays bounded by
+	// theta*N and keeps working.
+	cfg := trace.DefaultDDoS(1, 9)
+	feed, err := trace.NewDDoS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(Config{TargetSize: 500, InitialZ: 100, Theta: 2, RelaxFactor: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NewAggregator(100000)
+	naiveFailed := false
+	packets := 0
+	for {
+		p, ok := feed.Next()
+		if !ok {
+			break
+		}
+		packets++
+		s.Offer(p)
+		if s.Size() > s.MaxSize() {
+			t.Fatalf("sampler table grew to %d > bound %d", s.Size(), s.MaxSize())
+		}
+		if !naiveFailed && naive.Offer(p) == ErrTableFull {
+			naiveFailed = true
+		}
+	}
+	if !naiveFailed {
+		t.Error("naive aggregator survived the DDoS within budget; scenario too weak")
+	}
+	out := s.EndWindow()
+	if len(out) == 0 || len(out) > 500 {
+		t.Errorf("sampled flows = %d", len(out))
+	}
+}
+
+func TestSamplerVolumeEstimate(t *testing.T) {
+	// On flow-structured traffic the adjusted weights must estimate total
+	// bytes well, despite the bounded table.
+	feed, err := trace.NewFlows(trace.DefaultFlows(2, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSampler(Config{TargetSize: 400, InitialZ: 50, Theta: 2, RelaxFactor: 10})
+	var actual float64
+	for {
+		p, ok := feed.Next()
+		if !ok {
+			break
+		}
+		actual += float64(p.Len)
+		s.Offer(p)
+	}
+	out := s.EndWindow()
+	est := EstimateBytes(out)
+	if rel := math.Abs(est-actual) / actual; rel > 0.25 {
+		t.Errorf("estimate %v vs actual %v (rel err %v)", est, actual, rel)
+	}
+	if len(out) > 400 {
+		t.Errorf("final sample %d exceeds N", len(out))
+	}
+}
+
+func TestSamplerHeavyFlowsSurvive(t *testing.T) {
+	// A flow carrying 30% of all bytes must be in the final sample with
+	// nearly its full byte count.
+	s, _ := NewSampler(Config{TargetSize: 50, InitialZ: 10, Theta: 2, RelaxFactor: 1})
+	heavy := trace.Packet{SrcIP: 7, DstIP: 8, SrcPort: 1, DstPort: 2, Proto: 6, Len: 1500}
+	for i := 0; i < 10000; i++ {
+		// Heavy flow packet every third packet; tiny flows otherwise.
+		if i%3 == 0 {
+			heavy.Time = uint64(i)
+			s.Offer(heavy)
+		} else {
+			s.Offer(trace.Packet{Time: uint64(i), SrcIP: uint32(100 + i), Len: 60})
+		}
+	}
+	out := s.EndWindow()
+	found := false
+	for _, f := range out {
+		if f.Key == heavy.Key() {
+			found = true
+			if f.Bytes < 4000000 { // ~3334 packets x 1500B, admitted early
+				t.Errorf("heavy flow bytes = %d", f.Bytes)
+			}
+		}
+	}
+	if !found {
+		t.Error("heavy flow evicted from sample")
+	}
+}
+
+func TestSamplerWindowCarry(t *testing.T) {
+	s, _ := NewSampler(Config{TargetSize: 10, InitialZ: 1, Theta: 2, RelaxFactor: 5})
+	// 5 flows, below N: no cleaning phases, so z stays at InitialZ and the
+	// carried threshold is exactly z/f.
+	for i := 0; i < 5; i++ {
+		s.Offer(trace.Packet{Time: uint64(i), SrcIP: uint32(i), Len: 1000})
+	}
+	zBefore := s.Z()
+	s.EndWindow()
+	if math.Abs(s.Z()-zBefore/5) > 1e-9 {
+		t.Errorf("carried z = %v, want %v", s.Z(), zBefore/5)
+	}
+	if s.Size() != 0 || s.Cleanings() != 0 {
+		t.Error("window state not reset")
+	}
+}
+
+func TestSamplerCleaningsCounted(t *testing.T) {
+	s, _ := NewSampler(Config{TargetSize: 5, InitialZ: 0.1, Theta: 2, RelaxFactor: 1})
+	for i := 0; i < 1000; i++ {
+		s.Offer(trace.Packet{Time: uint64(i), SrcIP: uint32(i), Len: 100})
+	}
+	if s.Cleanings() == 0 {
+		t.Error("no cleanings counted")
+	}
+}
+
+func BenchmarkSamplerOffer(b *testing.B) {
+	s, _ := NewSampler(Config{TargetSize: 1000, InitialZ: 500, Theta: 2, RelaxFactor: 10})
+	feed, _ := trace.NewFlows(trace.DefaultFlows(1, 1e9))
+	pkts := make([]trace.Packet, 8192)
+	for i := range pkts {
+		pkts[i], _ = feed.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(pkts[i&8191])
+	}
+}

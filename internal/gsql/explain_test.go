@@ -1,0 +1,57 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeSampling(t *testing.T) {
+	p := analyzeQuery(t, minHashQuery)
+	d := p.Describe()
+	for _, want := range []string{
+		"sampling operator",
+		"group by:        tb, srcIP, HX",
+		"window closes on: tb",
+		"supergroup key:  srcIP",
+		"Kth_smallest_value$(HX, 100)",
+		"count_distinct$(*)",
+		"output columns:  tb, srcIP, HX",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q in:\n%s", want, d)
+		}
+	}
+}
+
+func TestDescribeSubsetSum(t *testing.T) {
+	p := analyzeQuery(t, subsetSumQuery)
+	d := p.Describe()
+	for _, want := range []string{
+		"supergroup key:  ALL",
+		"sfun states:     ss_state",
+		"sum(len)",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q in:\n%s", want, d)
+		}
+	}
+}
+
+func TestDescribeSelection(t *testing.T) {
+	p := analyzeQuery(t, "SELECT uts, len FROM PKT WHERE len > 100")
+	d := p.Describe()
+	if !strings.Contains(d, "selection operator") {
+		t.Errorf("Describe:\n%s", d)
+	}
+	if strings.Contains(d, "group by") {
+		t.Errorf("selection Describe mentions grouping:\n%s", d)
+	}
+}
+
+func TestDescribeNoOrderedGroupBy(t *testing.T) {
+	p := analyzeQuery(t, "SELECT s, count(*) FROM PKT GROUP BY srcIP as s")
+	d := p.Describe()
+	if !strings.Contains(d, "end of stream only") {
+		t.Errorf("Describe:\n%s", d)
+	}
+}

@@ -1,0 +1,64 @@
+package gsql
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// round-trips through printing. Run with: go test -fuzz=FuzzParse ./internal/gsql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		subsetSumQuery,
+		heavyHitterQuery,
+		minHashQuery,
+		reservoirQuery,
+		"SELECT uts FROM PKT",
+		"SELECT a, b FROM S WHERE a > 1 GROUP BY t as tb HAVING count(*) > 0",
+		"SELECT kth$(x, 5) FROM S GROUP BY x",
+		"SELECT -1 + 2.5e3 * 'str''ing' FROM S",
+		"SELECT f(a, *, 1) FROM S CLEANING WHEN TRUE CLEANING BY FALSE",
+		"select x from s supergroup by x",
+		"SELECT x FROM S -- comment\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own print %q: %v", src, printed, err)
+		}
+		if got := q2.String(); got != printed {
+			t.Fatalf("print not a fixpoint:\n%s\nvs\n%s", printed, got)
+		}
+	})
+}
+
+// FuzzParseExpr fuzzes the expression entry point separately.
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"1 + 2 * 3", "a AND NOT b", "kth$(x, 5) <= H(y)", "-(-1)", "x % 0",
+		"count(*)", "'x''y'", "1.5e-3", "((((x))))",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		p1 := e.String()
+		e2, err := ParseExpr(p1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected print %q: %v", src, p1, err)
+		}
+		p2 := e2.String()
+		e3, err := ParseExpr(p2)
+		if err != nil || e3.String() != p2 {
+			t.Fatalf("normalized print not a fixpoint: %q -> %q", p1, p2)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // + - * / % = < <= > >= <> != ( ) , .
+	tokStar  // * when used as the argument wildcard is disambiguated by the parser
+	tokError // lexical error; text holds the message
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// lexer tokenizes a query string. GSQL is case-insensitive; identifiers
+// keep their original spelling but keyword matching folds case.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t := l.next()
+		if t.kind == tokError {
+			return nil, fmt.Errorf("gsql: %s at offset %d", t.text, t.pos)
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		// Superaggregate names carry a trailing $.
+		if l.pos < len(l.src) && l.src[l.pos] == '$' {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
+	case c >= '0' && c <= '9':
+		l.pos++
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			switch {
+			case d >= '0' && d <= '9':
+				l.pos++
+			case d == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.pos++
+			case (d == 'e' || d == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+				(isDigit(l.src[l.pos+1]) || ((l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') && l.pos+2 < len(l.src) && isDigit(l.src[l.pos+2]))):
+				seenExp = true
+				l.pos++
+				if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+					l.pos++
+				}
+			default:
+				return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{kind: tokError, text: "unterminated string literal", pos: start}
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}
+		}
+		return token{kind: tokError, text: "unexpected '!'", pos: start}
+	case strings.IndexByte("+-*/%=(),", c) >= 0:
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}
+	default:
+		return token{kind: tokError, text: fmt.Sprintf("unexpected character %q", c), pos: start}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

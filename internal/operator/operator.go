@@ -1,0 +1,476 @@
+// Package operator implements the stream sampling operator — the paper's
+// core contribution (§5) — with the evaluation strategy of §6.4:
+//
+// Three tables are maintained per time window: the group table (group-by
+// key → aggregates), the supergroup table (supergroup key → SFUN states and
+// superaggregates) and the supergroup-group table (supergroup → its
+// groups). Two supergroup tables exist, "old" and "new": when a supergroup
+// first appears in a window, its states are initialized from the
+// equivalent supergroup of the previous window, giving algorithms such as
+// dynamic subset-sum sampling their threshold carry-over.
+//
+// Per tuple: window-boundary check (any ordered group-by expression
+// changed → flush), supergroup lookup/creation, WHERE (which may invoke
+// stateful functions — the loose admission predicate), superaggregate and
+// group updates, then CLEANING WHEN on the supergroup; if it fires, the
+// CLEANING BY predicate runs over every group of the supergroup and groups
+// where it is FALSE are evicted. At the window border HAVING selects the
+// groups that form the output sample.
+package operator
+
+import (
+	"fmt"
+
+	"streamop/internal/agg"
+	"streamop/internal/gsql"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// Emit receives one output row. Returning an error aborts processing.
+type Emit func(tuple.Tuple) error
+
+// Stats counts operator activity, exposed for experiments and tuning.
+type Stats struct {
+	TuplesIn       int64 // tuples offered to the operator
+	TuplesAccepted int64 // tuples passing WHERE
+	GroupsCreated  int64
+	GroupsEvicted  int64 // evictions by cleaning phases
+	Cleanings      int64 // cleaning phases triggered
+	Windows        int64 // windows flushed
+	TuplesOut      int64 // output rows emitted
+}
+
+type group struct {
+	key  tuple.Key
+	vals []value.Value
+	aggs []agg.Agg
+	// contribs accumulates, per superaggregate, this group's contribution
+	// for OnGroupRemove (policy per SuperDef.Spec.Contribution).
+	contribs []value.Value
+}
+
+type supergroup struct {
+	key    tuple.Key
+	states []any
+	supers []agg.Super
+	groups []*group // insertion-ordered supergroup-group table
+}
+
+// Operator is a running instance of a compiled sampling query.
+type Operator struct {
+	plan *gsql.Plan
+	emit Emit
+
+	// Group table: hash → chain.
+	groups map[uint64][]*group
+	// New and old supergroup tables, plus insertion order for
+	// deterministic flushing.
+	sgNew  map[uint64][]*supergroup
+	sgOld  map[uint64][]*supergroup
+	sgList []*supergroup
+
+	// Selection mode: a single global state vector, no grouping.
+	selStates []any
+
+	windowOpen bool
+	windowVals []value.Value // ordered group-by values of the open window
+
+	ctx     gsql.Ctx
+	gbVals  []value.Value // scratch: group-by values of the current tuple
+	sgVals  []value.Value // scratch: supergroup key values
+	argVals []value.Value // scratch: superaggregate argument values
+	stats   Stats
+}
+
+// New creates an operator for plan, sending output rows to emit.
+func New(plan *gsql.Plan, emit Emit) (*Operator, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("operator: nil plan")
+	}
+	if emit == nil {
+		emit = func(tuple.Tuple) error { return nil }
+	}
+	o := &Operator{
+		plan:    plan,
+		emit:    emit,
+		groups:  make(map[uint64][]*group),
+		sgNew:   make(map[uint64][]*supergroup),
+		sgOld:   make(map[uint64][]*supergroup),
+		gbVals:  make([]value.Value, len(plan.GroupBy)),
+		argVals: make([]value.Value, len(plan.Supers)),
+	}
+	if plan.IsSelection {
+		o.selStates = make([]any, len(plan.States))
+		for i, sd := range plan.States {
+			o.selStates[i] = sd.Type.Init(nil)
+		}
+	}
+	return o, nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (o *Operator) Stats() Stats { return o.stats }
+
+// Process offers one input tuple.
+func (o *Operator) Process(t tuple.Tuple) error {
+	o.stats.TuplesIn++
+	if len(t) != o.plan.Schema.NumFields() {
+		return fmt.Errorf("operator: tuple has %d fields, schema %s has %d",
+			len(t), o.plan.Schema.Name(), o.plan.Schema.NumFields())
+	}
+	if o.plan.IsSelection {
+		return o.processSelection(t)
+	}
+	return o.processSampling(t)
+}
+
+func (o *Operator) processSelection(t tuple.Tuple) error {
+	o.ctx = gsql.Ctx{Tuple: t, States: o.selStates}
+	if o.plan.Where != nil {
+		v, err := o.plan.Where(&o.ctx)
+		if err != nil {
+			return err
+		}
+		if !v.Truth() {
+			return nil
+		}
+	}
+	o.stats.TuplesAccepted++
+	return o.output(&o.ctx)
+}
+
+func (o *Operator) processSampling(t tuple.Tuple) error {
+	// 1. Group-by values.
+	o.ctx = gsql.Ctx{Tuple: t}
+	for i, gb := range o.plan.GroupBy {
+		v, err := gb(&o.ctx)
+		if err != nil {
+			return fmt.Errorf("operator: group-by %s: %w", o.plan.GroupNames[i], err)
+		}
+		o.gbVals[i] = v
+	}
+	o.ctx.GroupVals = o.gbVals
+
+	// 2. Window boundary: any ordered group-by value changed.
+	if o.windowOpen && o.orderedChanged() {
+		if err := o.flushWindow(); err != nil {
+			return err
+		}
+	}
+	if !o.windowOpen {
+		o.windowOpen = true
+		o.windowVals = o.orderedValues(o.windowVals[:0])
+	}
+
+	// 3. Supergroup lookup / creation (with state handoff from the old
+	// window's supergroup of the same key).
+	sg := o.findOrCreateSupergroup()
+	o.ctx.States = sg.states
+	o.ctx.Supers = sg.supers
+
+	// 4. WHERE: the loose admission predicate, possibly stateful.
+	if o.plan.Where != nil {
+		v, err := o.plan.Where(&o.ctx)
+		if err != nil {
+			return fmt.Errorf("operator: WHERE: %w", err)
+		}
+		if !v.Truth() {
+			return nil
+		}
+	}
+	o.stats.TuplesAccepted++
+
+	// 5. Superaggregate per-tuple updates (argument values cached for the
+	// group-contribution bookkeeping below).
+	for i := range o.plan.Supers {
+		def := &o.plan.Supers[i]
+		var v value.Value
+		if def.Arg != nil {
+			var err error
+			if v, err = def.Arg(&o.ctx); err != nil {
+				return fmt.Errorf("operator: %s argument: %w", def.Display, err)
+			}
+		}
+		o.argVals[i] = v
+		sg.supers[i].OnTuple(v)
+	}
+
+	// 6. Group lookup / creation and aggregate update.
+	g, created := o.findOrCreateGroup(sg)
+	if created {
+		for i := range sg.supers {
+			sg.supers[i].OnGroupAdd(o.argVals[i])
+		}
+	}
+	for i := range o.plan.Aggs {
+		def := &o.plan.Aggs[i]
+		var v value.Value
+		if def.Arg != nil {
+			var err error
+			if v, err = def.Arg(&o.ctx); err != nil {
+				return fmt.Errorf("operator: %s argument: %w", def.Display, err)
+			}
+		}
+		g.aggs[i].Update(v)
+	}
+	for i := range o.plan.Supers {
+		switch o.plan.Supers[i].Spec.Contribution {
+		case agg.ContribSum:
+			g.contribs[i] = addContrib(g.contribs[i], o.argVals[i])
+		case agg.ContribFirst:
+			if g.contribs[i].IsNull() {
+				g.contribs[i] = o.argVals[i]
+			}
+		}
+	}
+	o.ctx.Aggs = g.aggs
+
+	// 7. CLEANING WHEN on the supergroup; CLEANING BY over its groups.
+	if o.plan.CleaningWhen != nil {
+		v, err := o.plan.CleaningWhen(&o.ctx)
+		if err != nil {
+			return fmt.Errorf("operator: CLEANING WHEN: %w", err)
+		}
+		if v.Truth() {
+			if err := o.cleanSupergroup(sg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func addContrib(acc, v value.Value) value.Value {
+	if v.IsNull() {
+		return acc
+	}
+	if acc.IsNull() {
+		return value.NewFloat(v.AsFloat())
+	}
+	return value.NewFloat(acc.AsFloat() + v.AsFloat())
+}
+
+// orderedChanged reports whether any ordered group-by value differs from
+// the open window's.
+func (o *Operator) orderedChanged() bool {
+	for i, idx := range o.plan.OrderedIdx {
+		if !value.Equal(o.windowVals[i], o.gbVals[idx]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Operator) orderedValues(dst []value.Value) []value.Value {
+	for _, idx := range o.plan.OrderedIdx {
+		dst = append(dst, o.gbVals[idx])
+	}
+	return dst
+}
+
+// supergroupVals fills the scratch slice with the supergroup key values
+// (non-ordered declared supergroup variables; empty for ALL).
+func (o *Operator) supergroupVals() []value.Value {
+	o.sgVals = o.sgVals[:0]
+	for _, idx := range o.plan.SupergroupIdx {
+		o.sgVals = append(o.sgVals, o.gbVals[idx])
+	}
+	return o.sgVals
+}
+
+func (o *Operator) findOrCreateSupergroup() *supergroup {
+	vals := o.supergroupVals()
+	h := tuple.HashValues(vals)
+	for _, sg := range o.sgNew[h] {
+		if sg.key.EqualValues(vals) {
+			return sg
+		}
+	}
+	key := tuple.MakeKey(vals)
+	sg := &supergroup{key: key}
+	// State handoff: same non-ordered key in the previous window.
+	var old *supergroup
+	for _, cand := range o.sgOld[h] {
+		if cand.key.Equal(key) {
+			old = cand
+			break
+		}
+	}
+	sg.states = make([]any, len(o.plan.States))
+	for i, sd := range o.plan.States {
+		var oldState any
+		if old != nil {
+			oldState = old.states[i]
+		}
+		sg.states[i] = sd.Type.Init(oldState)
+	}
+	sg.supers = make([]agg.Super, len(o.plan.Supers))
+	for i, def := range o.plan.Supers {
+		s, err := def.Spec.New(def.Consts)
+		if err != nil {
+			// Constants were validated at analysis time; this cannot
+			// happen for plans produced by gsql.Analyze.
+			panic(fmt.Sprintf("operator: superaggregate %s: %v", def.Display, err))
+		}
+		sg.supers[i] = s
+	}
+	o.sgNew[key.Hash()] = append(o.sgNew[key.Hash()], sg)
+	o.sgList = append(o.sgList, sg)
+	return sg
+}
+
+func (o *Operator) findOrCreateGroup(sg *supergroup) (*group, bool) {
+	h := tuple.HashValues(o.gbVals)
+	for _, g := range o.groups[h] {
+		if g.key.EqualValues(o.gbVals) {
+			return g, false
+		}
+	}
+	key := tuple.MakeKey(o.gbVals)
+	g := &group{
+		key:  key,
+		vals: key.Values(),
+		aggs: make([]agg.Agg, len(o.plan.Aggs)),
+	}
+	for i, def := range o.plan.Aggs {
+		g.aggs[i] = def.New()
+	}
+	if n := len(o.plan.Supers); n > 0 {
+		g.contribs = make([]value.Value, n)
+	}
+	o.groups[key.Hash()] = append(o.groups[key.Hash()], g)
+	sg.groups = append(sg.groups, g)
+	o.stats.GroupsCreated++
+	return g, true
+}
+
+// cleanSupergroup runs the CLEANING BY predicate over every group of sg,
+// evicting groups where it evaluates FALSE.
+func (o *Operator) cleanSupergroup(sg *supergroup) error {
+	o.stats.Cleanings++
+	if o.plan.CleaningBy == nil {
+		return nil
+	}
+	saveTuple, saveAggs, saveGroupVals := o.ctx.Tuple, o.ctx.Aggs, o.ctx.GroupVals
+	defer func() {
+		o.ctx.Tuple, o.ctx.Aggs, o.ctx.GroupVals = saveTuple, saveAggs, saveGroupVals
+	}()
+	o.ctx.Tuple = nil
+	kept := sg.groups[:0]
+	for _, g := range sg.groups {
+		o.ctx.GroupVals = g.vals
+		o.ctx.Aggs = g.aggs
+		v, err := o.plan.CleaningBy(&o.ctx)
+		if err != nil {
+			return fmt.Errorf("operator: CLEANING BY: %w", err)
+		}
+		if v.Truth() {
+			kept = append(kept, g)
+			continue
+		}
+		o.evictGroup(sg, g)
+	}
+	for i := len(kept); i < len(sg.groups); i++ {
+		sg.groups[i] = nil
+	}
+	sg.groups = kept
+	return nil
+}
+
+// evictGroup removes g from the group table and subtracts its
+// superaggregate contributions. (The caller maintains sg.groups.)
+func (o *Operator) evictGroup(sg *supergroup, g *group) {
+	h := g.key.Hash()
+	chain := o.groups[h]
+	for i, cand := range chain {
+		if cand == g {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			if len(chain) == 0 {
+				delete(o.groups, h)
+			} else {
+				o.groups[h] = chain
+			}
+			break
+		}
+	}
+	for i := range sg.supers {
+		var contrib value.Value
+		if g.contribs != nil {
+			contrib = g.contribs[i]
+		}
+		sg.supers[i].OnGroupRemove(contrib)
+	}
+	o.stats.GroupsEvicted++
+}
+
+// flushWindow closes the open window: signals WindowFinal to all states,
+// applies HAVING to every group (in supergroup, then group, insertion
+// order) and emits the sample, then rotates the supergroup tables.
+func (o *Operator) flushWindow() error {
+	o.stats.Windows++
+	saved := o.ctx
+	defer func() { o.ctx = saved }()
+	o.ctx = gsql.Ctx{}
+	for _, sg := range o.sgList {
+		for i, sd := range o.plan.States {
+			if sd.Type.WindowFinal != nil {
+				sd.Type.WindowFinal(sg.states[i])
+			}
+		}
+	}
+	for _, sg := range o.sgList {
+		o.ctx.States = sg.states
+		o.ctx.Supers = sg.supers
+		for _, g := range sg.groups {
+			o.ctx.GroupVals = g.vals
+			o.ctx.Aggs = g.aggs
+			if o.plan.Having != nil {
+				v, err := o.plan.Having(&o.ctx)
+				if err != nil {
+					return fmt.Errorf("operator: HAVING: %w", err)
+				}
+				if !v.Truth() {
+					continue
+				}
+			}
+			if err := o.output(&o.ctx); err != nil {
+				return err
+			}
+		}
+	}
+	// Rotate: current supergroups become the "old" table for state
+	// handoff; group tables clear.
+	o.groups = make(map[uint64][]*group)
+	o.sgOld = o.sgNew
+	o.sgNew = make(map[uint64][]*supergroup)
+	for _, sg := range o.sgList {
+		sg.groups = nil // drop group references; states survive in sgOld
+	}
+	o.sgList = o.sgList[:0]
+	o.windowOpen = false
+	return nil
+}
+
+// output evaluates the SELECT list and emits one row.
+func (o *Operator) output(ctx *gsql.Ctx) error {
+	row := make(tuple.Tuple, len(o.plan.SelectExprs))
+	for i, sel := range o.plan.SelectExprs {
+		v, err := sel(ctx)
+		if err != nil {
+			return fmt.Errorf("operator: SELECT %s: %w", o.plan.SelectNames[i], err)
+		}
+		row[i] = v
+	}
+	o.stats.TuplesOut++
+	return o.emit(row)
+}
+
+// Flush closes the current window at end of stream, emitting its sample.
+func (o *Operator) Flush() error {
+	if o.plan.IsSelection || !o.windowOpen {
+		return nil
+	}
+	return o.flushWindow()
+}

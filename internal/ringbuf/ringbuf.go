@@ -1,0 +1,96 @@
+// Package ringbuf provides the fixed-size single-producer single-consumer
+// ring buffer that feeds low-level query nodes, mirroring Gigascope's
+// zero-copy NIC ring (Figure 1 of the paper).
+//
+// The buffer never blocks the producer: when full, new records are dropped
+// and counted, which is exactly the failure mode of a packet sniffer that
+// cannot keep up — the engine surfaces the drop counter so experiments can
+// verify a query ran at line rate.
+package ringbuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a lock-free SPSC ring buffer of elements of type T.
+// One goroutine may call Push and another Pop concurrently.
+type Ring[T any] struct {
+	buf   []T
+	mask  uint64
+	head  atomic.Uint64 // next slot to pop
+	tail  atomic.Uint64 // next slot to push
+	drops atomic.Uint64
+}
+
+// New returns a ring buffer with capacity rounded up to the next power of
+// two, at least 2.
+func New[T any](capacity int) (*Ring[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ringbuf: capacity must be positive, got %d", capacity)
+	}
+	size := uint64(2)
+	for size < uint64(capacity) {
+		size <<= 1
+	}
+	return &Ring[T]{buf: make([]T, size), mask: size - 1}, nil
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered elements (approximate under
+// concurrency).
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push appends v. It reports false — and counts a drop — if the ring is
+// full.
+func (r *Ring[T]) Push(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		r.drops.Add(1)
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes and returns the oldest element; ok is false if the ring is
+// empty.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		var zero T
+		return zero, false
+	}
+	v = r.buf[head&r.mask]
+	var zero T
+	r.buf[head&r.mask] = zero // release the slot's reference
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// PopBatch pops up to len(dst) elements into dst and returns the count.
+// Batch draining amortizes the atomic operations at high packet rates.
+func (r *Ring[T]) PopBatch(dst []T) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(dst))
+	if avail < n {
+		n = avail
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		dst[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	r.head.Store(head + n)
+	return int(n)
+}
+
+// Drops returns the number of records rejected because the ring was full.
+func (r *Ring[T]) Drops() uint64 { return r.drops.Load() }

@@ -1,0 +1,145 @@
+// Package heavyhitter implements the Manku-Motwani lossy counting
+// algorithm ("Approximate frequency counts over data streams", VLDB 2002),
+// one of the four representative algorithms the stream sampling operator
+// expresses.
+//
+// The stream is conceptually divided into buckets of w = ceil(1/epsilon)
+// items. Each distinct element keeps an estimated frequency f and a maximum
+// undercount delta; at every bucket boundary entries with f+delta <= the
+// current bucket id are pruned (the operator's cleaning phase). Querying
+// with support s returns every element whose true frequency is at least
+// s*N, never returns an element with true frequency below (s-epsilon)*N,
+// and overstates no frequency: f <= trueFreq <= f+delta.
+package heavyhitter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is one tracked element with its estimated frequency bounds.
+type Entry[K comparable] struct {
+	Key K
+	// Freq is the counted frequency since the element (re-)entered the
+	// table; it never exceeds the true frequency.
+	Freq int64
+	// Delta is the maximum possible undercount; true frequency is within
+	// [Freq, Freq+Delta].
+	Delta int64
+}
+
+// Summary is a lossy-counting sketch over elements of type K.
+type Summary[K comparable] struct {
+	epsilon float64
+	w       int64 // bucket width = ceil(1/epsilon)
+	n       int64 // items seen
+	bucket  int64 // current bucket id (1-based)
+	entries map[K]*Entry[K]
+	prunes  int64 // cleaning phases executed
+}
+
+// New returns a lossy-counting summary with error bound 0 < epsilon < 1.
+func New[K comparable](epsilon float64) (*Summary[K], error) {
+	if epsilon <= 0 || epsilon >= 1 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("heavyhitter: epsilon must be in (0,1), got %v", epsilon)
+	}
+	return &Summary[K]{
+		epsilon: epsilon,
+		w:       int64(math.Ceil(1 / epsilon)),
+		bucket:  1,
+		entries: make(map[K]*Entry[K]),
+	}, nil
+}
+
+// Offer feeds one element to the summary.
+func (s *Summary[K]) Offer(k K) {
+	s.n++
+	if e, ok := s.entries[k]; ok {
+		e.Freq++
+	} else {
+		s.entries[k] = &Entry[K]{Key: k, Freq: 1, Delta: s.bucket - 1}
+	}
+	if s.n%s.w == 0 {
+		s.prune()
+		s.bucket++
+	}
+}
+
+// prune deletes entries whose upper frequency bound has fallen to the
+// current bucket id — they cannot be heavy hitters.
+func (s *Summary[K]) prune() {
+	s.prunes++
+	for k, e := range s.entries {
+		if e.Freq+e.Delta <= s.bucket {
+			delete(s.entries, k)
+		}
+	}
+}
+
+// Query returns every tracked element whose estimated frequency satisfies
+// f >= (support - epsilon) * N, ordered by decreasing frequency. support
+// should be >= epsilon for the guarantees to be meaningful.
+func (s *Summary[K]) Query(support float64) []Entry[K] {
+	threshold := (support - s.epsilon) * float64(s.n)
+	var out []Entry[K]
+	for _, e := range s.entries {
+		if float64(e.Freq) >= threshold {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Delta < out[j].Delta
+	})
+	return out
+}
+
+// Top returns the k tracked elements with the highest estimated
+// frequencies, ordered by decreasing frequency.
+func (s *Summary[K]) Top(k int) []Entry[K] {
+	all := s.Query(0)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Estimate returns the frequency bounds for k. ok is false if k is not
+// tracked (its true frequency is then at most epsilon*N).
+func (s *Summary[K]) Estimate(k K) (e Entry[K], ok bool) {
+	p, ok := s.entries[k]
+	if !ok {
+		return Entry[K]{Key: k}, false
+	}
+	return *p, true
+}
+
+// N returns the number of items offered so far.
+func (s *Summary[K]) N() int64 { return s.n }
+
+// Epsilon returns the configured error bound.
+func (s *Summary[K]) Epsilon() float64 { return s.epsilon }
+
+// BucketWidth returns w = ceil(1/epsilon).
+func (s *Summary[K]) BucketWidth() int64 { return s.w }
+
+// CurrentBucket returns the current bucket id (1-based).
+func (s *Summary[K]) CurrentBucket() int64 { return s.bucket }
+
+// Entries returns the number of elements currently tracked; the paper
+// bounds this by (1/epsilon)*log(epsilon*N).
+func (s *Summary[K]) Entries() int { return len(s.entries) }
+
+// Prunes returns the number of cleaning phases executed.
+func (s *Summary[K]) Prunes() int64 { return s.prunes }
+
+// Reset clears the summary for a new window, keeping epsilon.
+func (s *Summary[K]) Reset() {
+	s.n = 0
+	s.bucket = 1
+	s.prunes = 0
+	s.entries = make(map[K]*Entry[K])
+}

@@ -1,0 +1,226 @@
+package heavyhitter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamop/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.1, 1.5, math.NaN()} {
+		if _, err := New[int](eps); err == nil {
+			t.Errorf("New(%v) accepted", eps)
+		}
+	}
+	s, err := New[int](0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BucketWidth() != 100 {
+		t.Errorf("BucketWidth = %d, want 100", s.BucketWidth())
+	}
+	if s.Epsilon() != 0.01 {
+		t.Errorf("Epsilon = %v", s.Epsilon())
+	}
+}
+
+func TestExactSmallStream(t *testing.T) {
+	s, _ := New[string](0.1)
+	for i := 0; i < 5; i++ {
+		s.Offer("a")
+	}
+	s.Offer("b")
+	if s.N() != 6 {
+		t.Errorf("N = %d", s.N())
+	}
+	e, ok := s.Estimate("a")
+	if !ok || e.Freq != 5 {
+		t.Errorf("Estimate(a) = %+v, %v", e, ok)
+	}
+	if _, ok := s.Estimate("zzz"); ok {
+		t.Error("Estimate of unseen key ok")
+	}
+	top := s.Top(1)
+	if len(top) != 1 || top[0].Key != "a" {
+		t.Errorf("Top(1) = %+v", top)
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	// Guarantee: if trueFreq >= s*N the element is returned.
+	const eps, support = 0.005, 0.05
+	s, _ := New[int](eps)
+	r := xrand.New(1)
+	trueCounts := map[int]int64{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		var k int
+		// 3 genuinely heavy elements plus a long uniform tail.
+		switch p := r.Float64(); {
+		case p < 0.20:
+			k = 1
+		case p < 0.30:
+			k = 2
+		case p < 0.37:
+			k = 3
+		default:
+			k = 100 + r.Intn(20000)
+		}
+		trueCounts[k]++
+		s.Offer(k)
+	}
+	got := map[int]bool{}
+	for _, e := range s.Query(support) {
+		got[e.Key] = true
+	}
+	for k, c := range trueCounts {
+		if float64(c) >= support*float64(n) && !got[k] {
+			t.Errorf("heavy element %d (freq %d) missed", k, c)
+		}
+	}
+	// Guarantee: nothing below (s-eps)*N is returned.
+	for k := range got {
+		if float64(trueCounts[k]) < (support-eps)*float64(n) {
+			t.Errorf("element %d returned with true freq %d < (s-eps)N", k, trueCounts[k])
+		}
+	}
+}
+
+func TestFrequencyBounds(t *testing.T) {
+	// Invariant: Freq <= trueFreq <= Freq+Delta for every tracked element.
+	s, _ := New[int](0.01)
+	r := xrand.New(2)
+	z := xrand.NewZipf(r, 1.3, 1000)
+	trueCounts := map[int]int64{}
+	for i := 0; i < 50000; i++ {
+		k := int(z.Uint64())
+		trueCounts[k]++
+		s.Offer(k)
+		if i%9973 == 0 {
+			for _, e := range s.Query(0) {
+				tc := trueCounts[e.Key]
+				if e.Freq > tc || tc > e.Freq+e.Delta {
+					t.Fatalf("bounds violated for %d: f=%d delta=%d true=%d", e.Key, e.Freq, e.Delta, tc)
+				}
+			}
+		}
+	}
+}
+
+func TestSpaceBound(t *testing.T) {
+	// Space bound: at most (1/eps)*log(eps*N) entries (paper §4.2), with
+	// slack for the partial last bucket.
+	const eps = 0.01
+	s, _ := New[int](eps)
+	r := xrand.New(3)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Offer(r.Intn(1 << 20)) // near-uniform: worst case for space
+	}
+	bound := (1/eps)*math.Log(eps*float64(n)) + 1/eps
+	if float64(s.Entries()) > bound {
+		t.Errorf("entries %d exceed bound %v", s.Entries(), bound)
+	}
+}
+
+func TestPruneHappensPerBucket(t *testing.T) {
+	s, _ := New[int](0.1) // w=10
+	for i := 0; i < 100; i++ {
+		s.Offer(i) // all distinct: every entry prunable
+	}
+	if s.Prunes() != 10 {
+		t.Errorf("Prunes = %d, want 10", s.Prunes())
+	}
+	if s.CurrentBucket() != 11 {
+		t.Errorf("CurrentBucket = %d, want 11", s.CurrentBucket())
+	}
+	if s.Entries() != 0 {
+		t.Errorf("distinct-only stream left %d entries", s.Entries())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New[int](0.1)
+	for i := 0; i < 25; i++ {
+		s.Offer(1)
+	}
+	s.Reset()
+	if s.N() != 0 || s.Entries() != 0 || s.CurrentBucket() != 1 || s.Prunes() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if s.Epsilon() != 0.1 {
+		t.Error("Reset lost epsilon")
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	s, _ := New[int](0.001)
+	for k, reps := range map[int]int{7: 50, 8: 30, 9: 70} {
+		for i := 0; i < reps; i++ {
+			s.Offer(k)
+		}
+	}
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Key != 9 || top[1].Key != 7 {
+		t.Errorf("Top(2) = %+v", top)
+	}
+}
+
+func TestGuaranteesQuick(t *testing.T) {
+	// Property over random Zipf streams: no false negatives at support s
+	// and estimated freq within [true-eps*N, true].
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		eps := 0.002 + r.Float64()*0.01
+		support := eps * (2 + r.Float64()*3)
+		s, _ := New[uint64](eps)
+		z := xrand.NewZipf(r, 1.1+r.Float64(), 5000)
+		trueCounts := map[uint64]int64{}
+		n := 20000 + r.Intn(30000)
+		for i := 0; i < n; i++ {
+			k := z.Uint64()
+			trueCounts[k]++
+			s.Offer(k)
+		}
+		got := map[uint64]bool{}
+		for _, e := range s.Query(support) {
+			got[e.Key] = true
+			if float64(trueCounts[e.Key]) < (support-eps)*float64(n) {
+				return false
+			}
+		}
+		for k, c := range trueCounts {
+			if float64(c) >= support*float64(n) && !got[k] {
+				return false
+			}
+			if e, ok := s.Estimate(k); ok {
+				if e.Freq > c || float64(c-e.Freq) > eps*float64(n) {
+					return false
+				}
+			} else if float64(c) > eps*float64(n) {
+				// An untracked element must have freq <= eps*N.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	s, _ := New[uint64](0.001)
+	r := xrand.New(1)
+	z := xrand.NewZipf(r, 1.2, 1<<20)
+	keys := make([]uint64, 8192)
+	for i := range keys {
+		keys[i] = z.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(keys[i&8191])
+	}
+}

@@ -1,0 +1,229 @@
+// Package quantile implements the Greenwald-Khanna epsilon-approximate
+// quantile summary ("Space-efficient online computation of quantile
+// summaries", SIGMOD 2001).
+//
+// The paper's §8 singles out this algorithm as the contrast case for the
+// sampling operator: its COMPRESS phase merges *adjacent* samples and so
+// needs inter-sample communication the operator's per-sample structure
+// does not provide. The right integration — which this package supplies —
+// is a user-defined aggregate (UDAF) layered on the operator: see
+// RegisterUDAF.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+)
+
+// entry is one summary tuple (v, g, delta): v is a seen value, g the gap
+// in minimum rank from the previous entry, delta the rank uncertainty.
+type entry struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// Summary is a GK epsilon-approximate quantile summary over float64
+// observations. Querying rank phi returns a value whose rank is within
+// epsilon*n of phi*n.
+type Summary struct {
+	epsilon float64
+	entries []entry
+	n       int64
+	// buffer batches inserts; merging a sorted batch amortizes the
+	// per-observation cost.
+	buffer []float64
+}
+
+// New returns a summary with error bound 0 < epsilon < 1.
+func New(epsilon float64) (*Summary, error) {
+	if epsilon <= 0 || epsilon >= 1 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("quantile: epsilon must be in (0,1), got %v", epsilon)
+	}
+	return &Summary{epsilon: epsilon}, nil
+}
+
+// Epsilon returns the configured error bound.
+func (s *Summary) Epsilon() float64 { return s.epsilon }
+
+// N returns the number of observations offered.
+func (s *Summary) N() int64 { return s.n + int64(len(s.buffer)) }
+
+// Offer adds one observation.
+func (s *Summary) Offer(v float64) {
+	s.buffer = append(s.buffer, v)
+	if len(s.buffer) >= s.flushThreshold() {
+		s.flush()
+	}
+}
+
+func (s *Summary) flushThreshold() int {
+	t := int(1 / (2 * s.epsilon))
+	if t < 16 {
+		t = 16
+	}
+	return t
+}
+
+// flush merges the buffered observations into the summary and compresses.
+func (s *Summary) flush() {
+	if len(s.buffer) == 0 {
+		return
+	}
+	sort.Float64s(s.buffer)
+	merged := make([]entry, 0, len(s.entries)+len(s.buffer))
+	i, j := 0, 0
+	for i < len(s.entries) || j < len(s.buffer) {
+		if j >= len(s.buffer) || (i < len(s.entries) && s.entries[i].v <= s.buffer[j]) {
+			merged = append(merged, s.entries[i])
+			i++
+			continue
+		}
+		v := s.buffer[j]
+		j++
+		s.n++
+		var delta int64
+		// Boundary values carry no uncertainty; interior inserts may be
+		// off by the current compression slack.
+		if len(merged) > 0 && (i < len(s.entries) || j < len(s.buffer)) {
+			delta = int64(2*s.epsilon*float64(s.n)) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		merged = append(merged, entry{v: v, g: 1, delta: delta})
+	}
+	s.entries = merged
+	s.buffer = s.buffer[:0]
+	s.compress()
+}
+
+// compress merges adjacent entries whose combined uncertainty stays within
+// the 2*epsilon*n band — the phase that requires inter-sample merging.
+func (s *Summary) compress() {
+	if len(s.entries) < 3 {
+		return
+	}
+	bound := int64(2 * s.epsilon * float64(s.n))
+	out := s.entries[:1]
+	for i := 1; i < len(s.entries)-1; i++ {
+		e := s.entries[i]
+		// GK compress: delete e and fold its gap into the successor when
+		// the successor's uncertainty band still covers both.
+		next := s.entries[i+1]
+		if e.g+next.g+next.delta <= bound {
+			s.entries[i+1].g += e.g
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, s.entries[len(s.entries)-1])
+	// Copy to drop aliasing with the original slice tail.
+	s.entries = append([]entry(nil), out...)
+}
+
+// Query returns a value whose rank is within epsilon*n of phi*n, for
+// phi in [0, 1]. ok is false when the summary is empty.
+func (s *Summary) Query(phi float64) (v float64, ok bool) {
+	s.flush()
+	if len(s.entries) == 0 {
+		return 0, false
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := int64(math.Ceil(phi * float64(s.n)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.n {
+		target = s.n
+	}
+	slack := int64(s.epsilon * float64(s.n))
+	// Canonical GK query: return the predecessor of the first entry whose
+	// maximum possible rank exceeds target + slack.
+	var rmin int64
+	prev := s.entries[0].v
+	for i, e := range s.entries {
+		if i > 0 && rmin+e.g+e.delta > target+slack {
+			return prev, true
+		}
+		rmin += e.g
+		prev = e.v
+	}
+	return s.entries[len(s.entries)-1].v, true
+}
+
+// Size returns the number of stored summary entries (the space the
+// algorithm is famous for bounding by O((1/eps) log(eps n))).
+func (s *Summary) Size() int {
+	s.flush()
+	return len(s.entries)
+}
+
+// RegisterUDAF registers the quantile aggregate with a stateful-function
+// registry, making it callable from sampling-operator queries:
+//
+//	SELECT tb, srcIP, quantile(len, 0.5, 0.01)
+//	FROM PKT GROUP BY time/60 as tb, srcIP
+//
+// computes the epsilon=0.01 approximate median packet length per source
+// and window — the paper's §8 "stream UDAF on top of the sampling
+// operator" integration.
+func RegisterUDAF(reg *sfun.Registry) error {
+	return reg.RegisterAgg(&sfun.AggFunc{
+		Name: "quantile",
+		New: func(consts []value.Value) (sfun.Accumulator, error) {
+			if len(consts) < 1 || len(consts) > 2 {
+				return nil, fmt.Errorf("quantile: usage quantile(x, phi [, epsilon])")
+			}
+			if !consts[0].Kind().Numeric() {
+				return nil, fmt.Errorf("quantile: phi must be numeric")
+			}
+			phi := consts[0].AsFloat()
+			if phi < 0 || phi > 1 {
+				return nil, fmt.Errorf("quantile: phi must be in [0,1], got %v", phi)
+			}
+			eps := 0.01
+			if len(consts) == 2 {
+				if !consts[1].Kind().Numeric() {
+					return nil, fmt.Errorf("quantile: epsilon must be numeric")
+				}
+				eps = consts[1].AsFloat()
+			}
+			s, err := New(eps)
+			if err != nil {
+				return nil, err
+			}
+			return &udaf{s: s, phi: phi}, nil
+		},
+	})
+}
+
+// udaf adapts Summary to the accumulator interface.
+type udaf struct {
+	s   *Summary
+	phi float64
+}
+
+func (u *udaf) Update(v value.Value) {
+	if v.IsNull() || !v.Kind().Numeric() {
+		return
+	}
+	u.s.Offer(v.AsFloat())
+}
+
+func (u *udaf) Value() value.Value {
+	v, ok := u.s.Query(u.phi)
+	if !ok {
+		return value.Value{}
+	}
+	return value.NewFloat(v)
+}

@@ -1,0 +1,242 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamop/internal/sfunlib"
+	"streamop/internal/value"
+	"streamop/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("New(%v) accepted", eps)
+		}
+	}
+	s, err := New(0.01)
+	if err != nil || s.Epsilon() != 0.01 {
+		t.Fatalf("New(0.01) = %v, %v", s, err)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s, _ := New(0.1)
+	if _, ok := s.Query(0.5); ok {
+		t.Error("empty Query ok")
+	}
+	if s.N() != 0 || s.Size() != 0 {
+		t.Error("empty summary not empty")
+	}
+}
+
+func TestExactOnSmallInput(t *testing.T) {
+	s, _ := New(0.1)
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		s.Offer(v)
+	}
+	if v, ok := s.Query(0); !ok || v != 1 {
+		t.Errorf("min = %v, %v", v, ok)
+	}
+	if v, ok := s.Query(1); !ok || v != 9 {
+		t.Errorf("max = %v, %v", v, ok)
+	}
+	if v, ok := s.Query(0.5); !ok || v != 5 {
+		t.Errorf("median = %v, %v", v, ok)
+	}
+}
+
+// checkRankError verifies every queried quantile is within eps (+small
+// discretization slack) of its true rank.
+func checkRankError(t *testing.T, s *Summary, sorted []float64, eps float64) {
+	t.Helper()
+	n := float64(len(sorted))
+	for _, phi := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got, ok := s.Query(phi)
+		if !ok {
+			t.Fatalf("Query(%v) not ok", phi)
+		}
+		// True rank range of the returned value.
+		lo := sort.SearchFloat64s(sorted, got)
+		hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > got })
+		target := phi * n
+		rankErr := 0.0
+		switch {
+		case target < float64(lo):
+			rankErr = float64(lo) - target
+		case target > float64(hi):
+			rankErr = target - float64(hi)
+		}
+		if rankErr > eps*n+2 {
+			t.Errorf("phi=%v: value %v has rank error %v (allowed %v)", phi, got, rankErr, eps*n)
+		}
+	}
+}
+
+func TestAccuracyUniform(t *testing.T) {
+	const eps = 0.01
+	s, _ := New(eps)
+	r := xrand.New(1)
+	var all []float64
+	for i := 0; i < 100000; i++ {
+		v := r.Float64() * 1000
+		all = append(all, v)
+		s.Offer(v)
+	}
+	sort.Float64s(all)
+	checkRankError(t, s, all, eps)
+}
+
+func TestAccuracySkewed(t *testing.T) {
+	const eps = 0.02
+	s, _ := New(eps)
+	r := xrand.New(2)
+	var all []float64
+	for i := 0; i < 50000; i++ {
+		v := r.Pareto(1.1, 1)
+		all = append(all, v)
+		s.Offer(v)
+	}
+	sort.Float64s(all)
+	checkRankError(t, s, all, eps)
+}
+
+func TestAccuracySorted(t *testing.T) {
+	// Sorted input is the adversarial case for naive summaries.
+	const eps = 0.01
+	s, _ := New(eps)
+	var all []float64
+	for i := 0; i < 50000; i++ {
+		v := float64(i)
+		all = append(all, v)
+		s.Offer(v)
+	}
+	checkRankError(t, s, all, eps)
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	const eps = 0.01
+	s, _ := New(eps)
+	r := xrand.New(3)
+	for i := 0; i < 200000; i++ {
+		s.Offer(r.Float64())
+	}
+	// GK space is O((1/eps) * log(eps*n)); allow a generous constant.
+	bound := int(24 / eps * math.Log(eps*200000))
+	if s.Size() > bound {
+		t.Errorf("summary holds %d entries, bound %d", s.Size(), bound)
+	}
+	if s.Size() < 10 {
+		t.Errorf("summary implausibly small: %d", s.Size())
+	}
+}
+
+func TestAccuracyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		eps := 0.02 + r.Float64()*0.05
+		s, _ := New(eps)
+		n := 5000 + r.Intn(10000)
+		all := make([]float64, n)
+		for i := range all {
+			all[i] = r.NormFloat64()
+			s.Offer(all[i])
+		}
+		sort.Float64s(all)
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			got, ok := s.Query(phi)
+			if !ok {
+				return false
+			}
+			lo := sort.SearchFloat64s(all, got)
+			hi := sort.Search(len(all), func(i int) bool { return all[i] > got })
+			target := phi * float64(n)
+			if target < float64(lo)-eps*float64(n)-2 || target > float64(hi)+eps*float64(n)+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUDAFRegistration(t *testing.T) {
+	reg := sfunlib.Default(1)
+	if err := RegisterUDAF(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterUDAF(reg); err == nil {
+		t.Error("double registration accepted")
+	}
+	a, ok := reg.Agg("QUANTILE")
+	if !ok {
+		t.Fatal("quantile not registered")
+	}
+	// Constructor validation.
+	bad := [][]value.Value{
+		nil,
+		{value.NewFloat(0.5), value.NewFloat(0.01), value.NewFloat(1)},
+		{value.NewString("x")},
+		{value.NewFloat(1.5)},
+		{value.NewFloat(0.5), value.NewString("x")},
+		{value.NewFloat(0.5), value.NewFloat(2)},
+	}
+	for i, consts := range bad {
+		if _, err := a.New(consts); err == nil {
+			t.Errorf("bad consts %d accepted", i)
+		}
+	}
+	acc, err := a.New([]value.Value{value.NewFloat(0.5), value.NewFloat(0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Value().IsNull() {
+		t.Error("empty accumulator value not NULL")
+	}
+	for i := 1; i <= 1001; i++ {
+		acc.Update(value.NewInt(int64(i)))
+	}
+	acc.Update(value.Value{}) // ignored
+	got := acc.Value().Float()
+	if math.Abs(got-501) > 0.05*1001+2 {
+		t.Errorf("median = %v, want ~501", got)
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	s, _ := New(0.01)
+	r := xrand.New(1)
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(vals[i&8191])
+	}
+}
+
+func TestAccuracyDuplicateHeavy(t *testing.T) {
+	// Half the observations share one value: the returned median must be
+	// that value (or within rank slack of it). This is the internet
+	// packet-size distribution (~50% 40-byte acks).
+	const eps = 0.005
+	s, _ := New(eps)
+	r := xrand.New(9)
+	var all []float64
+	for i := 0; i < 60000; i++ {
+		v := 40.0
+		if r.Float64() >= 0.5 {
+			v = 100 + r.Float64()*1400
+		}
+		all = append(all, v)
+		s.Offer(v)
+	}
+	sort.Float64s(all)
+	checkRankError(t, s, all, eps)
+}

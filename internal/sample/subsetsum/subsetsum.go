@@ -1,0 +1,292 @@
+// Package subsetsum implements subset-sum (threshold) sampling of weighted
+// stream items, after Duffield, Lund and Thorup ("Learn more, sample less",
+// SIGCOMM IMW 2001) as adapted by Johnson, Muthukrishnan and Rozenbaum for
+// the stream sampling operator.
+//
+// Given a threshold z, every item with weight > z is sampled; smaller items
+// feed a running counter and one small item is emitted — with its weight
+// adjusted up to z — each time the accumulated small mass exceeds z. The
+// sum of adjusted weights over the sample estimates the total weight of any
+// subset, with variance bounded by a factor of z.
+//
+// Three variants are provided:
+//
+//   - Basic: fixed threshold, arbitrary sample size (§4.4 of the paper).
+//   - Dynamic: targets a fixed sample size N by triggering cleaning phases
+//     that raise z and subsample (the "aggressive" adjustment).
+//   - Relaxed: the paper's §7.1 fix — the threshold carried into a new time
+//     window is divided by a relaxation factor f, so that a sharp load drop
+//     no longer starves the sample; cleaning phases adapt z back up.
+//     Relaxed with f=1 is exactly the non-relaxed dynamic algorithm.
+package subsetsum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one retained item.
+type Sample[T any] struct {
+	Payload T
+	// Weight is the item's original weight.
+	Weight float64
+	// Adj is the adjusted weight max(Weight, z...) accumulated through
+	// every threshold the sample survived; summing Adj over the sample
+	// estimates subset sums.
+	Adj float64
+}
+
+// Estimate sums the adjusted weights of a sample set: the subset-sum
+// estimator for the whole window (filter first to estimate a subset).
+func Estimate[T any](samples []Sample[T]) float64 {
+	var sum float64
+	for i := range samples {
+		sum += samples[i].Adj
+	}
+	return sum
+}
+
+// Basic is the fixed-threshold algorithm. The zero value is not usable;
+// construct with NewBasic.
+type Basic[T any] struct {
+	z       float64
+	counter float64
+	samples []Sample[T]
+}
+
+// NewBasic returns a basic subset-sum sampler with threshold z > 0.
+func NewBasic[T any](z float64) (*Basic[T], error) {
+	if z <= 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		return nil, fmt.Errorf("subsetsum: threshold must be positive and finite, got %v", z)
+	}
+	return &Basic[T]{z: z}, nil
+}
+
+// Offer presents one item. It reports whether the item entered the sample.
+func (b *Basic[T]) Offer(weight float64, payload T) bool {
+	if weight > b.z {
+		b.samples = append(b.samples, Sample[T]{Payload: payload, Weight: weight, Adj: weight})
+		return true
+	}
+	b.counter += weight
+	if b.counter > b.z {
+		b.counter -= b.z
+		b.samples = append(b.samples, Sample[T]{Payload: payload, Weight: weight, Adj: b.z})
+		return true
+	}
+	return false
+}
+
+// Decide applies the basic predicate without retaining the sample: the
+// low-level pushdown form used as a selection UDF. It reports whether the
+// item should pass and the adjusted weight to assign if it does.
+func (b *Basic[T]) Decide(weight float64) (pass bool, adj float64) {
+	if weight > b.z {
+		return true, weight
+	}
+	b.counter += weight
+	if b.counter > b.z {
+		b.counter -= b.z
+		return true, b.z
+	}
+	return false, 0
+}
+
+// Samples returns the retained samples. The caller must not modify the
+// slice between Offer calls.
+func (b *Basic[T]) Samples() []Sample[T] { return b.samples }
+
+// Z returns the threshold.
+func (b *Basic[T]) Z() float64 { return b.z }
+
+// Reset discards all samples and counter state, keeping the threshold.
+func (b *Basic[T]) Reset() {
+	b.samples = b.samples[:0]
+	b.counter = 0
+}
+
+// Config parameterizes the dynamic algorithm.
+type Config struct {
+	// TargetSize is N, the desired number of samples per window.
+	TargetSize int
+	// InitialZ is the threshold used in the first window.
+	InitialZ float64
+	// Theta triggers a cleaning phase when the sample grows beyond
+	// Theta*TargetSize. The paper uses 2. Must be > 1.
+	Theta float64
+	// RelaxFactor is f: the threshold carried into a new window is z/f.
+	// 1 reproduces the non-relaxed algorithm; the paper's fix uses 10.
+	RelaxFactor float64
+	// MaxFinalCleanings bounds the end-of-window subsampling loop.
+	// 0 means the default of 64.
+	MaxFinalCleanings int
+}
+
+func (c *Config) validate() error {
+	if c.TargetSize <= 0 {
+		return fmt.Errorf("subsetsum: TargetSize must be positive, got %d", c.TargetSize)
+	}
+	if c.InitialZ <= 0 || math.IsNaN(c.InitialZ) || math.IsInf(c.InitialZ, 0) {
+		return fmt.Errorf("subsetsum: InitialZ must be positive and finite, got %v", c.InitialZ)
+	}
+	if c.Theta <= 1 {
+		return fmt.Errorf("subsetsum: Theta must exceed 1, got %v", c.Theta)
+	}
+	if c.RelaxFactor < 1 {
+		return fmt.Errorf("subsetsum: RelaxFactor must be >= 1, got %v", c.RelaxFactor)
+	}
+	if c.MaxFinalCleanings == 0 {
+		c.MaxFinalCleanings = 64
+	}
+	return nil
+}
+
+// Dynamic is the fixed-sample-size algorithm with threshold adaptation.
+type Dynamic[T any] struct {
+	cfg       Config
+	z         float64
+	counter   float64
+	samples   []Sample[T]
+	big       int // samples whose Adj exceeds the current z (B in the paper)
+	cleanings int // cleaning phases in the current window
+}
+
+// NewDynamic returns a dynamic subset-sum sampler.
+func NewDynamic[T any](cfg Config) (*Dynamic[T], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Dynamic[T]{cfg: cfg, z: cfg.InitialZ}, nil
+}
+
+// Offer presents one item of the current window. It reports whether the
+// item entered the sample (it may later be evicted by a cleaning phase).
+func (d *Dynamic[T]) Offer(weight float64, payload T) bool {
+	sampled := false
+	if weight > d.z {
+		d.samples = append(d.samples, Sample[T]{Payload: payload, Weight: weight, Adj: weight})
+		d.big++
+		sampled = true
+	} else {
+		d.counter += weight
+		if d.counter > d.z {
+			d.counter -= d.z
+			d.samples = append(d.samples, Sample[T]{Payload: payload, Weight: weight, Adj: d.z})
+			sampled = true
+		}
+	}
+	if sampled && len(d.samples) > int(d.cfg.Theta*float64(d.cfg.TargetSize)) {
+		d.clean()
+	}
+	return sampled
+}
+
+// NeedsCleaning reports whether the sample currently exceeds Theta*N; the
+// operator form uses this as its CLEANING WHEN predicate.
+func (d *Dynamic[T]) NeedsCleaning() bool {
+	return len(d.samples) > int(d.cfg.Theta*float64(d.cfg.TargetSize))
+}
+
+// clean raises the threshold with the paper's aggressive adjustment and
+// subsamples the current sample set with the new threshold.
+func (d *Dynamic[T]) clean() {
+	d.cleanings++
+	zPrev := d.z
+	d.z = AdjustZ(d.z, len(d.samples), d.cfg.TargetSize, d.big)
+	d.subsample(zPrev)
+}
+
+// AdjustZ implements the aggressive z-threshold adjustment of §4.4:
+//
+//	0 <= |S| < M : z' = z * (|S| / M)
+//	|S| >= M     : z' = z * max(1, (|S|-B)/(M-B))
+//
+// With B >= M every target slot is already taken by a large sample, so the
+// ratio is undefined; doubling z is the standard escape that keeps the
+// threshold growing geometrically until large samples thin out.
+func AdjustZ(z float64, s, m, b int) float64 {
+	if s < m {
+		if s == 0 {
+			return z // no information; keep the threshold
+		}
+		return z * float64(s) / float64(m)
+	}
+	if b >= m {
+		return z * 2
+	}
+	factor := float64(s-b) / float64(m-b)
+	if factor < 1 {
+		factor = 1
+	}
+	return z * factor
+}
+
+// subsample re-runs basic subset-sum sampling over the retained samples
+// with the new threshold d.z. A sample whose recorded size is below the
+// pre-adjustment threshold zPrev is treated as having size zPrev (§6.5).
+func (d *Dynamic[T]) subsample(zPrev float64) {
+	kept := d.samples[:0]
+	var counter float64
+	big := 0
+	for i := range d.samples {
+		s := d.samples[i]
+		eff := s.Adj
+		if eff < zPrev {
+			eff = zPrev
+		}
+		if eff > d.z {
+			s.Adj = eff
+			kept = append(kept, s)
+			big++
+			continue
+		}
+		counter += eff
+		if counter > d.z {
+			counter -= d.z
+			s.Adj = d.z
+			kept = append(kept, s)
+		}
+	}
+	// Zero the dropped tail so evicted payloads don't pin memory.
+	for i := len(kept); i < len(d.samples); i++ {
+		d.samples[i] = Sample[T]{}
+	}
+	d.samples = kept
+	d.big = big
+	d.counter = counter
+}
+
+// EndWindow closes the current time window: it performs the final
+// subsampling down to at most N samples, returns the window's sample set,
+// and primes the threshold for the next window (dividing by RelaxFactor).
+// The returned slice is owned by the caller.
+func (d *Dynamic[T]) EndWindow() []Sample[T] {
+	for i := 0; len(d.samples) > d.cfg.TargetSize && i < d.cfg.MaxFinalCleanings; i++ {
+		d.clean()
+	}
+	out := make([]Sample[T], len(d.samples))
+	copy(out, d.samples)
+
+	// Prime the next window: the paper estimates next-window load as 1/f
+	// of this window's, so the carried threshold is z/f. The cleaning
+	// machinery readily adapts z upward if the load did not drop.
+	d.z /= d.cfg.RelaxFactor
+	if d.z < math.SmallestNonzeroFloat64 {
+		d.z = d.cfg.InitialZ
+	}
+	d.samples = d.samples[:0]
+	d.counter = 0
+	d.big = 0
+	d.cleanings = 0
+	return out
+}
+
+// Z returns the current threshold.
+func (d *Dynamic[T]) Z() float64 { return d.z }
+
+// Size returns the current number of retained samples.
+func (d *Dynamic[T]) Size() int { return len(d.samples) }
+
+// Cleanings returns the number of cleaning phases triggered so far in the
+// current window (reset by EndWindow).
+func (d *Dynamic[T]) Cleanings() int { return d.cleanings }

@@ -1,0 +1,415 @@
+package subsetsum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamop/internal/xrand"
+)
+
+func TestNewBasicValidation(t *testing.T) {
+	for _, z := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewBasic[int](z); err == nil {
+			t.Errorf("NewBasic(%v) accepted", z)
+		}
+	}
+	if _, err := NewBasic[int](10); err != nil {
+		t.Errorf("NewBasic(10): %v", err)
+	}
+}
+
+func TestBasicLargeItemsAlwaysSampled(t *testing.T) {
+	b, _ := NewBasic[int](100)
+	if !b.Offer(101, 1) {
+		t.Error("weight > z not sampled")
+	}
+	if !b.Offer(1e9, 2) {
+		t.Error("huge weight not sampled")
+	}
+	for _, s := range b.Samples() {
+		if s.Adj != s.Weight {
+			t.Errorf("large sample adjusted: %+v", s)
+		}
+	}
+}
+
+func TestBasicSmallItemsRate(t *testing.T) {
+	// 10,000 items of weight 1 with z=100 must yield ~100 samples, each
+	// with adjusted weight z.
+	b, _ := NewBasic[int](100)
+	for i := 0; i < 10000; i++ {
+		b.Offer(1, i)
+	}
+	got := len(b.Samples())
+	if got < 99 || got > 101 {
+		t.Errorf("sampled %d small items, want ~100", got)
+	}
+	for _, s := range b.Samples() {
+		if s.Adj != 100 {
+			t.Errorf("small sample Adj = %v, want z", s.Adj)
+		}
+	}
+	est := Estimate(b.Samples())
+	if math.Abs(est-10000) > 100 {
+		t.Errorf("estimate = %v, want ~10000", est)
+	}
+}
+
+func TestBasicEstimateAccuracyQuick(t *testing.T) {
+	// Property: for any weight stream, |estimate - actual| <= z
+	// (the counter holds less than z of unaccounted small mass).
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		z := 50 + r.Float64()*200
+		b, _ := NewBasic[int](z)
+		var actual float64
+		for i := 0; i < 5000; i++ {
+			w := r.Pareto(1.3, 1)
+			if w > 10*z {
+				w = 10 * z
+			}
+			actual += w
+			b.Offer(w, i)
+		}
+		est := Estimate(b.Samples())
+		return math.Abs(est-actual) <= z+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasicDecideMatchesOffer(t *testing.T) {
+	r := xrand.New(7)
+	a, _ := NewBasic[int](75)
+	c, _ := NewBasic[int](75)
+	for i := 0; i < 2000; i++ {
+		w := r.Pareto(1.5, 1)
+		off := a.Offer(w, i)
+		pass, adj := c.Decide(w)
+		if off != pass {
+			t.Fatalf("item %d: Offer=%v Decide=%v", i, off, pass)
+		}
+		if pass {
+			s := a.Samples()[len(a.Samples())-1]
+			if s.Adj != adj {
+				t.Fatalf("item %d: Adj %v vs Decide adj %v", i, s.Adj, adj)
+			}
+		}
+	}
+}
+
+func TestBasicReset(t *testing.T) {
+	b, _ := NewBasic[int](10)
+	b.Offer(100, 1)
+	b.Offer(5, 2)
+	b.Reset()
+	if len(b.Samples()) != 0 {
+		t.Error("Reset left samples")
+	}
+	if b.Z() != 10 {
+		t.Error("Reset changed threshold")
+	}
+	// Counter must be cleared: a 6-weight item should not trip a stale counter.
+	if b.Offer(6, 3) {
+		t.Error("counter not reset")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{TargetSize: 10, InitialZ: 5, Theta: 2, RelaxFactor: 1}
+	bad := []Config{
+		{TargetSize: 0, InitialZ: 5, Theta: 2, RelaxFactor: 1},
+		{TargetSize: 10, InitialZ: 0, Theta: 2, RelaxFactor: 1},
+		{TargetSize: 10, InitialZ: math.NaN(), Theta: 2, RelaxFactor: 1},
+		{TargetSize: 10, InitialZ: 5, Theta: 1, RelaxFactor: 1},
+		{TargetSize: 10, InitialZ: 5, Theta: 2, RelaxFactor: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDynamic[int](cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewDynamic[int](base); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestDynamicTargetsN(t *testing.T) {
+	d, _ := NewDynamic[int](Config{TargetSize: 100, InitialZ: 1, Theta: 2, RelaxFactor: 1})
+	r := xrand.New(3)
+	var actual float64
+	for i := 0; i < 50000; i++ {
+		w := 40 + r.Float64()*1460 // packet lengths
+		actual += w
+		d.Offer(w, i)
+	}
+	out := d.EndWindow()
+	if len(out) > 100 {
+		t.Errorf("final sample size %d exceeds N", len(out))
+	}
+	if len(out) < 80 {
+		t.Errorf("final sample size %d far below N", len(out))
+	}
+	est := Estimate(out)
+	relErr := math.Abs(est-actual) / actual
+	if relErr > 0.15 {
+		t.Errorf("estimate %v vs actual %v (rel err %v)", est, actual, relErr)
+	}
+}
+
+func TestDynamicCleaningTriggered(t *testing.T) {
+	d, _ := NewDynamic[int](Config{TargetSize: 10, InitialZ: 0.001, Theta: 2, RelaxFactor: 1})
+	for i := 0; i < 1000; i++ {
+		d.Offer(1, i)
+	}
+	if d.Cleanings() == 0 {
+		t.Error("tiny initial z triggered no cleaning phases")
+	}
+	if d.Size() > 20 {
+		t.Errorf("in-window sample size %d exceeds theta*N", d.Size())
+	}
+	if d.Z() <= 0.001 {
+		t.Error("threshold did not adapt upward")
+	}
+}
+
+// runDropScenario runs a heavy window followed by a light one with
+// 1/dropRatio of the packets, and returns the light window's final sample
+// count, estimate and actual sum for the given relaxation factor.
+func runDropScenario(f float64, lightItems int) (n2 int, est2, actual2 float64) {
+	d, _ := NewDynamic[int](Config{TargetSize: 1000, InitialZ: 1, Theta: 2, RelaxFactor: f})
+	r := xrand.New(11)
+	for i := 0; i < 200000; i++ { // heavy window
+		d.Offer(40+r.Float64()*1460, i)
+	}
+	d.EndWindow()
+	for i := 0; i < lightItems; i++ {
+		w := 40 + r.Float64()*1460
+		actual2 += w
+		d.Offer(w, i)
+	}
+	out := d.EndWindow()
+	return len(out), Estimate(out), actual2
+}
+
+func TestNonRelaxedUndersamplesAfterLoadDrop(t *testing.T) {
+	// The paper's Figure 3 phenomenon: a load drop between windows
+	// starves the non-relaxed sampler. A 5x drop is within the relaxed
+	// factor f=10, so the relaxed sampler recovers a full sample.
+	nNon, _, _ := runDropScenario(1, 40000)
+	nRel, _, _ := runDropScenario(10, 40000)
+	if nNon >= 500 {
+		t.Errorf("non-relaxed collected %d samples after load drop, expected starvation", nNon)
+	}
+	if nRel < 900 || nRel > 1000 {
+		t.Errorf("relaxed collected %d samples after load drop, want ~1000", nRel)
+	}
+}
+
+func TestNonRelaxedUnderestimatesAfterSevereDrop(t *testing.T) {
+	// The paper's Figure 2 phenomenon: when the load collapses (here
+	// ~2000x, light window total << carried threshold z), the non-relaxed
+	// estimator returns far less than the actual sum, while the relaxed
+	// one stays close because its threshold starts 10x lower.
+	nNon, estNon, actual := runDropScenario(1, 100)
+	_, estRel, _ := runDropScenario(10, 100)
+	if nNon > 1 {
+		t.Errorf("non-relaxed collected %d samples, expected near-total starvation", nNon)
+	}
+	errNon := math.Abs(estNon-actual) / actual
+	errRel := math.Abs(estRel-actual) / actual
+	if errNon < 0.5 {
+		t.Errorf("non-relaxed error %v, expected severe underestimation", errNon)
+	}
+	if errRel > 0.4 {
+		t.Errorf("relaxed error %v, expected reasonable estimate", errRel)
+	}
+	if estNon > actual {
+		t.Errorf("starved estimator overestimated: %v > %v", estNon, actual)
+	}
+}
+
+func TestRelaxedUsesMoreCleanings(t *testing.T) {
+	// Figure 4: relaxed ~4 cleaning phases per window vs ~1 non-relaxed,
+	// once past warmup.
+	count := func(f float64) int {
+		d, _ := NewDynamic[int](Config{TargetSize: 1000, InitialZ: 1, Theta: 2, RelaxFactor: f})
+		r := xrand.New(13)
+		total := 0
+		for w := 0; w < 6; w++ {
+			for i := 0; i < 100000; i++ {
+				d.Offer(40+r.Float64()*1460, i)
+			}
+			c := d.Cleanings()
+			d.EndWindow()
+			if w >= 2 { // skip warmup
+				total += c
+			}
+		}
+		return total
+	}
+	rel, non := count(10), count(1)
+	if rel <= non {
+		t.Errorf("relaxed cleanings %d not above non-relaxed %d", rel, non)
+	}
+}
+
+func TestAdjustZ(t *testing.T) {
+	cases := []struct {
+		z       float64
+		s, m, b int
+		want    float64
+	}{
+		{100, 50, 100, 0, 50},     // undershoot: shrink proportionally
+		{100, 0, 100, 0, 100},     // no samples: keep
+		{100, 200, 100, 0, 200},   // overshoot, no big: grow by S/M
+		{100, 200, 100, 50, 300},  // (200-50)/(100-50) = 3
+		{100, 150, 100, 150, 200}, // B >= M: double
+		{100, 100, 100, 0, 100},   // exactly at target: factor clamps to 1
+	}
+	for _, tc := range cases {
+		if got := AdjustZ(tc.z, tc.s, tc.m, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("AdjustZ(%v,%d,%d,%d) = %v, want %v", tc.z, tc.s, tc.m, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEndWindowNeverExceedsN(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 10 + r.Intn(200)
+		d, _ := NewDynamic[int](Config{TargetSize: n, InitialZ: 0.5 + r.Float64()*10, Theta: 1.5 + r.Float64()*3, RelaxFactor: 1 + r.Float64()*20})
+		for w := 0; w < 3; w++ {
+			items := r.Intn(20000)
+			for i := 0; i < items; i++ {
+				d.Offer(r.Pareto(1.2, 1), i)
+			}
+			if out := d.EndWindow(); len(out) > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateUnbiasedOverSeeds(t *testing.T) {
+	// Averaged over many random streams, the dynamic estimator should be
+	// close to unbiased (each stream's actual differs; compare ratios).
+	var ratioSum float64
+	const trials = 40
+	for seed := uint64(0); seed < trials; seed++ {
+		r := xrand.New(seed*2711 + 5)
+		d, _ := NewDynamic[int](Config{TargetSize: 200, InitialZ: 1, Theta: 2, RelaxFactor: 1})
+		var actual float64
+		for i := 0; i < 20000; i++ {
+			w := r.Pareto(1.4, 40)
+			if w > 1500 {
+				w = 1500
+			}
+			actual += w
+			d.Offer(w, i)
+		}
+		ratioSum += Estimate(d.EndWindow()) / actual
+	}
+	mean := ratioSum / trials
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("mean estimate/actual ratio = %v, want ~1", mean)
+	}
+}
+
+func BenchmarkDynamicOffer(b *testing.B) {
+	d, _ := NewDynamic[int](Config{TargetSize: 1000, InitialZ: 500, Theta: 2, RelaxFactor: 10})
+	r := xrand.New(1)
+	weights := make([]float64, 4096)
+	for i := range weights {
+		weights[i] = 40 + r.Float64()*1460
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Offer(weights[i&4095], i)
+		if i&0xfffff == 0xfffff {
+			d.EndWindow()
+		}
+	}
+}
+
+func TestRandomizedValidation(t *testing.T) {
+	r := xrand.New(1)
+	for _, z := range []float64{0, -1, math.NaN()} {
+		if _, err := NewRandomized[int](z, r); err == nil {
+			t.Errorf("NewRandomized(%v) accepted", z)
+		}
+	}
+	if _, err := NewRandomized[int](1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRandomizedUnbiased(t *testing.T) {
+	// The DLT estimator is exactly unbiased: over many runs the mean
+	// estimate must converge to the actual sum.
+	const z, items = 200.0, 3000
+	var ratioSum float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		r := xrand.New(uint64(trial)*997 + 13)
+		s, _ := NewRandomized[int](z, r)
+		var actual float64
+		for i := 0; i < items; i++ {
+			w := 40 + r.Float64()*1460
+			actual += w
+			s.Offer(w, i)
+		}
+		ratioSum += Estimate(s.Samples()) / actual
+	}
+	mean := ratioSum / trials
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("mean estimate/actual = %v", mean)
+	}
+}
+
+func TestCounterVersusRandomizedVariance(t *testing.T) {
+	// Ablation: the deterministic counter's per-window error is bounded
+	// by z, so its variance across runs is far below the randomized
+	// rule's — the engineering reason the paper's ssample uses a counter.
+	const z, items = 500.0, 5000
+	var counterErrs, randomErrs []float64
+	for trial := 0; trial < 100; trial++ {
+		r := xrand.New(uint64(trial)*31 + 7)
+		b, _ := NewBasic[int](z)
+		s, _ := NewRandomized[int](z, xrand.New(uint64(trial)*77+3))
+		var actual float64
+		for i := 0; i < items; i++ {
+			w := 40 + r.Float64()*1460
+			actual += w
+			b.Offer(w, i)
+			s.Offer(w, i)
+		}
+		counterErrs = append(counterErrs, math.Abs(Estimate(b.Samples())-actual)/actual)
+		randomErrs = append(randomErrs, math.Abs(Estimate(s.Samples())-actual)/actual)
+	}
+	mc, mr := mean(counterErrs), mean(randomErrs)
+	if mc >= mr {
+		t.Errorf("counter mean |err| %v not below randomized %v", mc, mr)
+	}
+	// The counter error is bounded by z/actual.
+	bound := z / (float64(items) * 770)
+	for _, e := range counterErrs {
+		if e > bound*1.01 {
+			t.Errorf("counter error %v exceeds z/actual bound %v", e, bound)
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,176 @@
+// Package sfun implements the STATEFUL function framework of §6.2 of the
+// paper: user-defined functions that share a mutable state blob allocated
+// per supergroup, initialized — possibly from the equivalent state of the
+// previous time window — when the supergroup is first referenced.
+//
+// A StateType declares a named state with its initialization function
+// (receiving the old window's state or nil, mirroring the paper's
+// _sfun_state_init_<name>(new, old) prototype). A Func declares a callable
+// bound to a state by name; stateless scalar functions use an empty state
+// name. The sampling operator allocates one instance of each referenced
+// state per supergroup and passes it implicitly on every call.
+package sfun
+
+import (
+	"fmt"
+	"strings"
+
+	"streamop/internal/value"
+)
+
+// StateType describes one shared state declared with STATE <type> <name>.
+type StateType struct {
+	// Name identifies the state; Funcs reference it by this name.
+	Name string
+	// Init allocates and initializes a state instance. old is the state
+	// of the supergroup with the same non-ordered key in the previous
+	// time window, or nil for an entirely new supergroup.
+	Init func(old any) any
+	// WindowFinal, if non-nil, is called on every live state when the
+	// time window closes, before the HAVING pass (the paper's
+	// final_init signal). States typically use it to arm end-of-window
+	// subsampling.
+	WindowFinal func(state any)
+}
+
+// Func describes one stateful (or stateless scalar) function.
+type Func struct {
+	// Name is the call name, case-insensitive.
+	Name string
+	// State names the StateType this function shares; empty for a
+	// stateless scalar function such as UMAX.
+	State string
+	// Call evaluates the function. state is nil for stateless functions.
+	Call func(state any, args []value.Value) (value.Value, error)
+}
+
+// Accumulator is one instance of a user-defined aggregate: it folds in one
+// value per tuple of its group and reports the aggregate at output time.
+// (It is structurally identical to the built-in aggregate interface.)
+type Accumulator interface {
+	Update(v value.Value)
+	Value() value.Value
+}
+
+// AggFunc declares a user-defined aggregate function (UDAF). The paper's
+// §8 identifies UDAFs layered on the sampling operator as the right host
+// for holistic algorithms — such as the Greenwald-Khanna quantile summary —
+// whose inter-sample communication exceeds the operator's per-sample
+// structure.
+type AggFunc struct {
+	// Name is the call name, case-insensitive. It must not collide with
+	// a built-in aggregate.
+	Name string
+	// New creates an accumulator for a new group; consts are the literal
+	// arguments after the first (e.g. quantile(x, 0.5) passes [0.5]).
+	New func(consts []value.Value) (Accumulator, error)
+}
+
+// Registry holds the state types, functions and user-defined aggregates
+// available to queries.
+type Registry struct {
+	states map[string]*StateType
+	funcs  map[string]*Func
+	aggs   map[string]*AggFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		states: make(map[string]*StateType),
+		funcs:  make(map[string]*Func),
+		aggs:   make(map[string]*AggFunc),
+	}
+}
+
+// RegisterAgg adds a user-defined aggregate; duplicate names (also against
+// functions) are an error.
+func (r *Registry) RegisterAgg(a *AggFunc) error {
+	if a.Name == "" || a.New == nil {
+		return fmt.Errorf("sfun: aggregate needs a name and a New constructor")
+	}
+	key := strings.ToLower(a.Name)
+	if _, dup := r.aggs[key]; dup {
+		return fmt.Errorf("sfun: aggregate %q already registered", a.Name)
+	}
+	if _, dup := r.funcs[key]; dup {
+		return fmt.Errorf("sfun: aggregate %q collides with a registered function", a.Name)
+	}
+	r.aggs[key] = a
+	return nil
+}
+
+// Agg looks up a user-defined aggregate by name (case-insensitive).
+func (r *Registry) Agg(name string) (*AggFunc, bool) {
+	a, ok := r.aggs[strings.ToLower(name)]
+	return a, ok
+}
+
+// MustRegisterAgg is RegisterAgg that panics on error.
+func (r *Registry) MustRegisterAgg(a *AggFunc) {
+	if err := r.RegisterAgg(a); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterState adds a state type; duplicate names are an error.
+func (r *Registry) RegisterState(st *StateType) error {
+	if st.Name == "" || st.Init == nil {
+		return fmt.Errorf("sfun: state type needs a name and an Init function")
+	}
+	key := strings.ToLower(st.Name)
+	if _, dup := r.states[key]; dup {
+		return fmt.Errorf("sfun: state %q already registered", st.Name)
+	}
+	r.states[key] = st
+	return nil
+}
+
+// RegisterFunc adds a function; its state (if any) must already be
+// registered, and duplicate names are an error.
+func (r *Registry) RegisterFunc(f *Func) error {
+	if f.Name == "" || f.Call == nil {
+		return fmt.Errorf("sfun: function needs a name and a Call implementation")
+	}
+	key := strings.ToLower(f.Name)
+	if _, dup := r.funcs[key]; dup {
+		return fmt.Errorf("sfun: function %q already registered", f.Name)
+	}
+	if _, dup := r.aggs[key]; dup {
+		return fmt.Errorf("sfun: function %q collides with a registered aggregate", f.Name)
+	}
+	if f.State != "" {
+		if _, ok := r.states[strings.ToLower(f.State)]; !ok {
+			return fmt.Errorf("sfun: function %q references unregistered state %q", f.Name, f.State)
+		}
+	}
+	r.funcs[key] = f
+	return nil
+}
+
+// Func looks up a function by name (case-insensitive).
+func (r *Registry) Func(name string) (*Func, bool) {
+	f, ok := r.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// State looks up a state type by name (case-insensitive).
+func (r *Registry) State(name string) (*StateType, bool) {
+	st, ok := r.states[strings.ToLower(name)]
+	return st, ok
+}
+
+// MustRegisterState is RegisterState that panics on error, for static
+// library registration.
+func (r *Registry) MustRegisterState(st *StateType) {
+	if err := r.RegisterState(st); err != nil {
+		panic(err)
+	}
+}
+
+// MustRegisterFunc is RegisterFunc that panics on error.
+func (r *Registry) MustRegisterFunc(f *Func) {
+	if err := r.RegisterFunc(f); err != nil {
+		panic(err)
+	}
+}

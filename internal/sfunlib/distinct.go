@@ -1,0 +1,143 @@
+package sfunlib
+
+import (
+	"fmt"
+
+	"streamop/internal/sample/distinct"
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+)
+
+// DistinctStateName is the STATE shared by the ds* function family:
+// Gibbons' distinct sampling run through the operator. Groups are keyed by
+// the hashed value (H(x) as HX); the state holds only the sampling level
+// and capacity — the sample itself is the operator's group table.
+//
+// Query shape:
+//
+//	SELECT tb, HX, count(*), dsscale()
+//	FROM PKT
+//	WHERE dsample(HX, 512) = TRUE
+//	GROUP BY time/60 as tb, H(destIP) as HX
+//	CLEANING WHEN dsdo_clean(count_distinct$(*)) = TRUE
+//	CLEANING BY dskeep(HX) = TRUE
+//
+// The output is a uniform sample of distinct destinations with exact
+// occurrence counts; count_distinct$(*) * dsscale() estimates the number
+// of distinct destinations.
+const DistinctStateName = "distinct_sampling_state"
+
+type dsState struct {
+	configured bool
+	capacity   int
+	level      uint
+}
+
+func asDS(state any) (*dsState, error) {
+	s, ok := state.(*dsState)
+	if !ok {
+		return nil, fmt.Errorf("distinct_sampling_state: wrong state type %T", state)
+	}
+	return s, nil
+}
+
+func registerDistinct(reg *sfun.Registry) error {
+	if err := reg.RegisterState(&sfun.StateType{
+		Name: DistinctStateName,
+		// The sample restarts each window at level 0; only the capacity
+		// carries over.
+		Init: func(old any) any {
+			s := &dsState{}
+			if o, ok := old.(*dsState); ok && o.configured {
+				s.configured = true
+				s.capacity = o.capacity
+			}
+			return s
+		},
+	}); err != nil {
+		return err
+	}
+
+	funcs := []sfun.Func{
+		{
+			// dsample(hx, capacity) admits values whose hash qualifies at
+			// the current sampling level.
+			Name: "dsample", State: DistinctStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asDS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !s.configured {
+					c, err := intArg("dsample", args, 1)
+					if err != nil {
+						return value.Value{}, err
+					}
+					if c < 1 {
+						return value.Value{}, fmt.Errorf("dsample: capacity must be >= 1, got %d", c)
+					}
+					s.capacity = int(c)
+					s.configured = true
+				}
+				h, err := tagArg("dsample", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(distinct.Qualifies(h, s.level)), nil
+			},
+		},
+		{
+			// dsdo_clean raises the level when the sample overflows.
+			Name: "dsdo_clean", State: DistinctStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asDS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				cnt, err := intArg("dsdo_clean", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !s.configured || int(cnt) <= s.capacity {
+					return value.NewBool(false), nil
+				}
+				s.level++
+				return value.NewBool(true), nil
+			},
+		},
+		{
+			// dskeep(hx) keeps the values still qualifying after a level
+			// raise.
+			Name: "dskeep", State: DistinctStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asDS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				h, err := tagArg("dskeep", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(distinct.Qualifies(h, s.level)), nil
+			},
+		},
+		{
+			// dsscale returns 2^level, the number of distinct values each
+			// sampled value represents.
+			Name: "dsscale", State: DistinctStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asDS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewUint(uint64(1) << s.level), nil
+			},
+		},
+	}
+	for i := range funcs {
+		if err := reg.RegisterFunc(&funcs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package sfunlib
+
+import (
+	"fmt"
+
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+)
+
+// HeavyHitterStateName is the STATE shared by the heavy-hitter helpers.
+const HeavyHitterStateName = "heavyhitter_state"
+
+// hhState implements the Manku-Motwani bookkeeping the operator query
+// needs: the stream position and bucket width. Frequencies live in the
+// group table (count(*)); the creation bucket is captured per group with
+// first(current_bucket()).
+type hhState struct {
+	w     int64 // bucket width (1/epsilon), set by local_count's constant
+	count int64 // tuples seen this window
+}
+
+func asHH(state any) (*hhState, error) {
+	s, ok := state.(*hhState)
+	if !ok {
+		return nil, fmt.Errorf("heavyhitter_state: wrong state type %T", state)
+	}
+	return s, nil
+}
+
+func registerHeavyHitter(reg *sfun.Registry) error {
+	if err := reg.RegisterState(&sfun.StateType{
+		Name: HeavyHitterStateName,
+		// Lossy counting restarts each window; only the bucket width is
+		// carried so current_bucket works from the first tuple.
+		Init: func(old any) any {
+			s := &hhState{}
+			if o, ok := old.(*hhState); ok {
+				s.w = o.w
+			}
+			return s
+		},
+	}); err != nil {
+		return err
+	}
+
+	funcs := []sfun.Func{
+		{
+			// local_count(w) counts tuples and returns TRUE once every w
+			// calls: the bucket-boundary cleaning trigger.
+			Name: "local_count", State: HeavyHitterStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asHH(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				w, err := intArg("local_count", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if w < 1 {
+					return value.Value{}, fmt.Errorf("local_count: width must be >= 1, got %d", w)
+				}
+				s.w = w
+				s.count++
+				return value.NewBool(s.count%w == 0), nil
+			},
+		},
+		{
+			// current_bucket returns ceil(N/w), the 1-based id of the
+			// current lossy-counting bucket.
+			Name: "current_bucket", State: HeavyHitterStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asHH(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if s.w <= 0 {
+					return value.NewInt(1), nil
+				}
+				b := (s.count + s.w - 1) / s.w
+				if b < 1 {
+					b = 1
+				}
+				return value.NewInt(b), nil
+			},
+		},
+	}
+	for i := range funcs {
+		if err := reg.RegisterFunc(&funcs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

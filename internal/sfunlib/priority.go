@@ -1,0 +1,200 @@
+package sfunlib
+
+import (
+	"container/heap"
+	"fmt"
+	"sync/atomic"
+
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+	"streamop/internal/xrand"
+)
+
+// PriorityStateName is the STATE shared by the ps* function family:
+// priority sampling (Duffield-Lund-Thorup's successor to the threshold
+// sampling the paper runs) expressed through the sampling operator — a
+// demonstration that the operator hosts algorithms published *after* it.
+//
+// Query shape (each tuple its own group via uts; adjusted weight
+// max(w, tau) read at output time):
+//
+//	SELECT tb, uts, srcIP, UMAX(sum(len), pstau()) AS adjlen
+//	FROM PKT
+//	WHERE psample(uts, len, 1000) = TRUE
+//	GROUP BY time/20 as tb, srcIP, uts
+//	HAVING pskeep(uts) = TRUE
+//	CLEANING WHEN psdo_clean(count_distinct$(*)) = TRUE
+//	CLEANING BY pskeep(uts) = TRUE
+//
+// Like the rs* family, the state keeps the exact k-highest-priority tag
+// set; displaced groups linger until a cleaning phase (or HAVING) evicts
+// them.
+const PriorityStateName = "priority_sampling_state"
+
+type psMember struct {
+	tag      uint64
+	priority float64
+}
+
+type psHeap []psMember
+
+func (h psHeap) Len() int            { return len(h) }
+func (h psHeap) Less(i, j int) bool  { return h[i].priority < h[j].priority }
+func (h psHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *psHeap) Push(x interface{}) { *h = append(*h, x.(psMember)) }
+func (h *psHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type psState struct {
+	configured bool
+	k          int
+	rng        *xrand.Rand
+	items      psHeap
+	tags       map[uint64]bool
+	tau        float64
+}
+
+func asPS(state any) (*psState, error) {
+	s, ok := state.(*psState)
+	if !ok {
+		return nil, fmt.Errorf("priority_sampling_state: wrong state type %T", state)
+	}
+	return s, nil
+}
+
+func registerPriority(reg *sfun.Registry, seed uint64) error {
+	var instance atomic.Uint64
+	if err := reg.RegisterState(&sfun.StateType{
+		Name: PriorityStateName,
+		// The sample restarts each window; only k carries over.
+		Init: func(old any) any {
+			s := &psState{
+				rng:  xrand.New(seed ^ (instance.Add(1) * 0xd1b54a32d192ed03)),
+				tags: map[uint64]bool{},
+			}
+			if o, ok := old.(*psState); ok && o.configured {
+				s.configured = true
+				s.k = o.k
+			}
+			return s
+		},
+	}); err != nil {
+		return err
+	}
+
+	funcs := []sfun.Func{
+		{
+			// psample(tag, w, k) admits the record when its priority w/u
+			// enters the k highest, displacing the current minimum.
+			Name: "psample", State: PriorityStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asPS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !s.configured {
+					k, err := intArg("psample", args, 2)
+					if err != nil {
+						return value.Value{}, err
+					}
+					if k < 1 {
+						return value.Value{}, fmt.Errorf("psample: k must be >= 1, got %d", k)
+					}
+					s.k = int(k)
+					s.configured = true
+				}
+				tag, err := tagArg("psample", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				w, err := numArg("psample", args, 1)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if w <= 0 {
+					return value.NewBool(false), nil
+				}
+				var u float64
+				for u == 0 {
+					u = s.rng.Float64()
+				}
+				m := psMember{tag: tag, priority: w / u}
+				if len(s.items) < s.k {
+					heap.Push(&s.items, m)
+					s.tags[tag] = true
+					return value.NewBool(true), nil
+				}
+				if m.priority <= s.items[0].priority {
+					if m.priority > s.tau {
+						s.tau = m.priority
+					}
+					return value.NewBool(false), nil
+				}
+				evicted := s.items[0]
+				s.items[0] = m
+				heap.Fix(&s.items, 0)
+				delete(s.tags, evicted.tag)
+				s.tags[tag] = true
+				if evicted.priority > s.tau {
+					s.tau = evicted.priority
+				}
+				return value.NewBool(true), nil
+			},
+		},
+		{
+			// pskeep(tag) keeps exactly the current k-highest-priority
+			// members; serves as both CLEANING BY and HAVING.
+			Name: "pskeep", State: PriorityStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asPS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				tag, err := tagArg("pskeep", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(s.tags[tag]), nil
+			},
+		},
+		{
+			// psdo_clean triggers eviction of displaced groups once they
+			// outnumber the sample 2:1.
+			Name: "psdo_clean", State: PriorityStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asPS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				cnt, err := intArg("psdo_clean", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(s.configured && int(cnt) > 2*s.k), nil
+			},
+		},
+		{
+			// pstau returns the threshold tau; UMAX(sum(len), pstau()) is
+			// the unbiased adjusted weight at output time.
+			Name: "pstau", State: PriorityStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asPS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewFloat(s.tau), nil
+			},
+		},
+	}
+	for i := range funcs {
+		if err := reg.RegisterFunc(&funcs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package sfunlib
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+	"streamop/internal/xrand"
+)
+
+// ReservoirStateName is the STATE shared by the rs* function family.
+const ReservoirStateName = "reservoir_sampling_state"
+
+// rsState realizes reservoir sampling through the operator. The state
+// itself runs an exact n-slot reservoir (Vitter's Algorithm X skip
+// schedule with random replacement) over record tags — the uts values that
+// make each tuple its own group. rsample returns TRUE whenever a record
+// enters the reservoir, so its group is created; the group whose tag was
+// displaced lingers as a stale candidate until a cleaning phase evicts it.
+// rsclean_with and rsfinal_clean keep exactly the groups whose tag is
+// currently in the reservoir, so the window's final sample is the exact
+// reservoir — a uniform n-subset of the window's records.
+//
+// This defers the deletion of replaced candidates to the cleaning phase,
+// which is precisely the paper's §4.1/§6.6 structure (candidates
+// accumulate to tolerance*n, then a cleaning subsamples n of them), while
+// avoiding the early-record bias a naive buffered variant would have.
+type rsState struct {
+	configured bool
+	n          int
+	tol        float64
+	rng        *xrand.Rand
+
+	seen int64 // records offered this window
+	skip int64 // pending skip; -1 = regenerate
+
+	tags  map[uint64]bool // current reservoir members, by tag
+	order []uint64        // slot -> tag, for random replacement
+}
+
+// configure handles rsample(tag, n [, tolerance]).
+func (s *rsState) configure(args []value.Value) error {
+	n, err := intArg("rsample", args, 1)
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("rsample: sample size must be >= 1, got %d", n)
+	}
+	s.n = int(n)
+	s.tol = 20 // the paper bounds T to (10, 40)
+	if len(args) > 2 {
+		if s.tol, err = numArg("rsample", args, 2); err != nil {
+			return err
+		}
+		if s.tol <= 1 {
+			return fmt.Errorf("rsample: tolerance must exceed 1, got %v", s.tol)
+		}
+	}
+	if len(args) > 3 {
+		return fmt.Errorf("rsample takes at most 3 arguments, got %d", len(args))
+	}
+	s.tags = make(map[uint64]bool, s.n)
+	s.skip = -1
+	s.configured = true
+	return nil
+}
+
+func asRS(state any) (*rsState, error) {
+	s, ok := state.(*rsState)
+	if !ok {
+		return nil, fmt.Errorf("reservoir_sampling_state: wrong state type %T", state)
+	}
+	return s, nil
+}
+
+func tagArg(fn string, args []value.Value, i int) (uint64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%s: missing tag argument (pass the record's uts)", fn)
+	}
+	if !args[i].Kind().Numeric() {
+		return 0, fmt.Errorf("%s: tag must be numeric, got %s", fn, args[i].Kind())
+	}
+	return args[i].AsUint(), nil
+}
+
+func registerReservoir(reg *sfun.Registry, seed uint64) error {
+	// Each state instance gets an independent deterministic generator.
+	var instance atomic.Uint64
+	if err := reg.RegisterState(&sfun.StateType{
+		Name: ReservoirStateName,
+		Init: func(old any) any {
+			s := &rsState{
+				rng:  xrand.New(seed ^ (instance.Add(1) * 0x9e3779b97f4a7c15)),
+				skip: -1,
+			}
+			if o, ok := old.(*rsState); ok && o.configured {
+				// The sample restarts each window; only configuration
+				// carries over.
+				s.configured = true
+				s.n = o.n
+				s.tol = o.tol
+				s.tags = make(map[uint64]bool, s.n)
+			}
+			return s
+		},
+	}); err != nil {
+		return err
+	}
+
+	funcs := []sfun.Func{
+		{
+			// rsample(tag, n [, T]) admits the record into the reservoir
+			// with probability n/t, displacing a random earlier member.
+			Name: "rsample", State: ReservoirStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asRS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !s.configured {
+					if err := s.configure(args); err != nil {
+						return value.Value{}, err
+					}
+				}
+				tag, err := tagArg("rsample", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				s.seen++
+				if len(s.order) < s.n {
+					s.order = append(s.order, tag)
+					s.tags[tag] = true
+					return value.NewBool(true), nil
+				}
+				if s.skip < 0 {
+					s.skip = skipX(s.rng, s.n, s.seen-1)
+				}
+				if s.skip > 0 {
+					s.skip--
+					return value.NewBool(false), nil
+				}
+				s.skip = -1
+				slot := s.rng.Intn(s.n)
+				delete(s.tags, s.order[slot])
+				s.order[slot] = tag
+				s.tags[tag] = true
+				return value.NewBool(true), nil
+			},
+		},
+		{
+			// rsdo_clean triggers cleaning when accumulated candidates
+			// (live + displaced) exceed T*n.
+			Name: "rsdo_clean", State: ReservoirStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asRS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				cnt, err := intArg("rsdo_clean", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				trigger := s.configured && float64(cnt) > s.tol*float64(s.n)
+				return value.NewBool(trigger), nil
+			},
+		},
+		{
+			// rsclean_with(tag) keeps exactly the current reservoir
+			// members, evicting displaced candidates.
+			Name: "rsclean_with", State: ReservoirStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asRS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				tag, err := tagArg("rsclean_with", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(s.tags[tag]), nil
+			},
+		},
+		{
+			// rsfinal_clean(tag) selects the final sample at the window
+			// border: the exact reservoir.
+			Name: "rsfinal_clean", State: ReservoirStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asRS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				tag, err := tagArg("rsfinal_clean", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(s.tags[tag]), nil
+			},
+		},
+	}
+	for i := range funcs {
+		if err := reg.RegisterFunc(&funcs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipX draws the number of records to skip before the next reservoir
+// candidate (Vitter's Algorithm X): after t processed records, the next
+// record is a candidate with probability n/(t+1).
+func skipX(rng *xrand.Rand, n int, t int64) int64 {
+	v := rng.Float64()
+	var skip int64
+	num := t + 1 - int64(n)
+	den := t + 1
+	quot := float64(num) / float64(den)
+	for quot > v {
+		skip++
+		num++
+		den++
+		quot *= float64(num) / float64(den)
+	}
+	return skip
+}

@@ -1,0 +1,123 @@
+// Package sfunlib registers the runtime-library functions the paper's
+// queries rely on: the subset-sum family (ssample, ssthreshold, ssdo_clean,
+// ssclean_with, ssfinal_clean), the reservoir family (rsample, rsdo_clean,
+// rsclean_with, rsfinal_clean), the heavy-hitter helpers (local_count,
+// current_bucket) and the stateless scalars UMAX, UMIN and H.
+//
+// These are the "functions written by the algorithmic expert following a
+// simple API" of the paper's introduction: each family shares one STATE
+// allocated per supergroup by the operator, with old-window state handoff.
+package sfunlib
+
+import (
+	"fmt"
+
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+)
+
+// Register adds every library state and function to reg. seed makes the
+// randomized functions (reservoir sampling) deterministic; successive
+// states derive their generators from it.
+func Register(reg *sfun.Registry, seed uint64) error {
+	if err := registerScalars(reg); err != nil {
+		return err
+	}
+	if err := registerSubsetSum(reg); err != nil {
+		return err
+	}
+	if err := registerBasicSubsetSum(reg); err != nil {
+		return err
+	}
+	if err := registerReservoir(reg, seed); err != nil {
+		return err
+	}
+	if err := registerHeavyHitter(reg); err != nil {
+		return err
+	}
+	if err := registerPriority(reg, seed); err != nil {
+		return err
+	}
+	return registerDistinct(reg)
+}
+
+// Default returns a registry with the full library registered.
+func Default(seed uint64) *sfun.Registry {
+	reg := sfun.NewRegistry()
+	if err := Register(reg, seed); err != nil {
+		panic(err) // static registrations cannot conflict in a fresh registry
+	}
+	return reg
+}
+
+func registerScalars(reg *sfun.Registry) error {
+	scalars := []sfun.Func{
+		{
+			Name: "UMAX",
+			Call: func(_ any, args []value.Value) (value.Value, error) {
+				if len(args) != 2 {
+					return value.Value{}, fmt.Errorf("UMAX takes 2 arguments, got %d", len(args))
+				}
+				if value.Compare(args[0], args[1]) >= 0 {
+					return args[0], nil
+				}
+				return args[1], nil
+			},
+		},
+		{
+			Name: "UMIN",
+			Call: func(_ any, args []value.Value) (value.Value, error) {
+				if len(args) != 2 {
+					return value.Value{}, fmt.Errorf("UMIN takes 2 arguments, got %d", len(args))
+				}
+				if value.Compare(args[0], args[1]) <= 0 {
+					return args[0], nil
+				}
+				return args[1], nil
+			},
+		},
+		{
+			// H hashes its argument to a uniform 64-bit value; an optional
+			// second argument seeds the hash (distinct min-hash signatures).
+			Name: "H",
+			Call: func(_ any, args []value.Value) (value.Value, error) {
+				switch len(args) {
+				case 1:
+					return value.NewUint(value.Hash(args[0], 0x5eed)), nil
+				case 2:
+					if !args[1].Kind().Numeric() {
+						return value.Value{}, fmt.Errorf("H seed must be numeric")
+					}
+					return value.NewUint(value.Hash(args[0], args[1].AsUint())), nil
+				default:
+					return value.Value{}, fmt.Errorf("H takes 1 or 2 arguments, got %d", len(args))
+				}
+			},
+		},
+	}
+	for i := range scalars {
+		if err := reg.RegisterFunc(&scalars[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// numArg extracts a float argument with a helpful error.
+func numArg(fn string, args []value.Value, i int) (float64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%s: missing argument %d", fn, i+1)
+	}
+	if !args[i].Kind().Numeric() {
+		return 0, fmt.Errorf("%s: argument %d must be numeric, got %s", fn, i+1, args[i].Kind())
+	}
+	return args[i].AsFloat(), nil
+}
+
+func intArg(fn string, args []value.Value, i int) (int64, error) {
+	f, err := numArg(fn, args, i)
+	if err != nil {
+		return 0, err
+	}
+	return int64(f), nil
+}

@@ -1,0 +1,318 @@
+package sfunlib
+
+import (
+	"fmt"
+
+	"streamop/internal/sample/subsetsum"
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+)
+
+// SubsetSumStateName is the STATE shared by the ss* function family.
+const SubsetSumStateName = "subsetsum_sampling_state"
+
+// ssState is the per-supergroup control state of dynamic subset-sum
+// sampling as run inside the operator. Unlike the standalone
+// subsetsum.Dynamic, the samples themselves live in the operator's group
+// table; the state holds only thresholds and counters.
+type ssState struct {
+	configured bool
+	n          int     // target sample size N
+	theta      float64 // cleaning trigger multiplier
+	relax      float64 // f: carried threshold is z/f
+	z, zPrev   float64
+	counter    float64 // small-mass admission counter
+	cleanCtr   float64 // small-mass counter of the active cleaning pass
+	big        int     // live samples with weight > z
+	cleanings  int     // cleaning phases this window
+
+	// Final-subsample bookkeeping (HAVING pass).
+	finalArmed    bool // WindowFinal fired; first ssfinal_clean prepares
+	finalPrepared bool
+	subsampling   bool
+}
+
+// Configuration argument layout of ssample:
+//
+//	ssample(len, N [, theta [, relax [, z0]]])
+func (s *ssState) configure(args []value.Value) error {
+	n, err := intArg("ssample", args, 1)
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("ssample: sample size must be >= 1, got %d", n)
+	}
+	s.n = int(n)
+	s.theta = 2
+	s.relax = 1
+	z0 := 1.0
+	if len(args) > 2 {
+		if s.theta, err = numArg("ssample", args, 2); err != nil {
+			return err
+		}
+		if s.theta <= 1 {
+			return fmt.Errorf("ssample: theta must exceed 1, got %v", s.theta)
+		}
+	}
+	if len(args) > 3 {
+		if s.relax, err = numArg("ssample", args, 3); err != nil {
+			return err
+		}
+		if s.relax < 1 {
+			return fmt.Errorf("ssample: relax factor must be >= 1, got %v", s.relax)
+		}
+	}
+	if len(args) > 4 {
+		if z0, err = numArg("ssample", args, 4); err != nil {
+			return err
+		}
+		if z0 <= 0 {
+			return fmt.Errorf("ssample: initial threshold must be positive, got %v", z0)
+		}
+	}
+	if len(args) > 5 {
+		return fmt.Errorf("ssample takes at most 5 arguments, got %d", len(args))
+	}
+	if s.z == 0 { // fresh state (no carried threshold)
+		s.z = z0
+	}
+	s.configured = true
+	return nil
+}
+
+func asSS(state any) (*ssState, error) {
+	s, ok := state.(*ssState)
+	if !ok {
+		return nil, fmt.Errorf("subsetsum_sampling_state: wrong state type %T", state)
+	}
+	return s, nil
+}
+
+func registerSubsetSum(reg *sfun.Registry) error {
+	if err := reg.RegisterState(&sfun.StateType{
+		Name: SubsetSumStateName,
+		Init: func(old any) any {
+			s := &ssState{}
+			if o, ok := old.(*ssState); ok && o.configured {
+				// Threshold carry-over with the paper's relaxation: the
+				// next window's load is estimated as 1/f of this one's.
+				*s = ssState{
+					configured: true,
+					n:          o.n,
+					theta:      o.theta,
+					relax:      o.relax,
+					z:          o.z / o.relax,
+				}
+				if s.z <= 0 {
+					s.z = 1
+				}
+			}
+			return s
+		},
+		WindowFinal: func(state any) {
+			if s, ok := state.(*ssState); ok {
+				s.finalArmed = true
+				s.finalPrepared = false
+			}
+		},
+	}); err != nil {
+		return err
+	}
+
+	funcs := []sfun.Func{
+		{
+			// ssample is the loose admission predicate: basic subset-sum
+			// sampling at the current threshold.
+			Name: "ssample", State: SubsetSumStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asSS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !s.configured {
+					if err := s.configure(args); err != nil {
+						return value.Value{}, err
+					}
+				}
+				w, err := numArg("ssample", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if w > s.z {
+					s.big++
+					return value.NewBool(true), nil
+				}
+				s.counter += w
+				if s.counter > s.z {
+					s.counter -= s.z
+					return value.NewBool(true), nil
+				}
+				return value.NewBool(false), nil
+			},
+		},
+		{
+			// ssthreshold returns the current threshold z; output rows use
+			// UMAX(sum(len), ssthreshold()) as the adjusted weight.
+			Name: "ssthreshold", State: SubsetSumStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asSS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewFloat(s.z), nil
+			},
+		},
+		{
+			// ssdo_clean triggers the cleaning phase when the sample has
+			// grown beyond theta*N, adjusting the threshold aggressively.
+			Name: "ssdo_clean", State: SubsetSumStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asSS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				cnt, err := intArg("ssdo_clean", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if !s.configured || float64(cnt) <= s.theta*float64(s.n) {
+					return value.NewBool(false), nil
+				}
+				s.beginClean(int(cnt))
+				return value.NewBool(true), nil
+			},
+		},
+		{
+			// ssclean_with is the per-group cleaning predicate: basic
+			// subset-sum sampling at the adjusted threshold, with sizes
+			// below the pre-adjustment threshold promoted to it (§6.5).
+			Name: "ssclean_with", State: SubsetSumStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asSS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				w, err := numArg("ssclean_with", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				return value.NewBool(s.cleanKeep(w)), nil
+			},
+		},
+		{
+			// ssfinal_clean runs at the window border: if more than N
+			// samples remain it adjusts the threshold once and applies the
+			// cleaning predicate to each group; otherwise every group is
+			// sampled.
+			Name: "ssfinal_clean", State: SubsetSumStateName,
+			Call: func(state any, args []value.Value) (value.Value, error) {
+				s, err := asSS(state)
+				if err != nil {
+					return value.Value{}, err
+				}
+				w, err := numArg("ssfinal_clean", args, 0)
+				if err != nil {
+					return value.Value{}, err
+				}
+				cnt, err := intArg("ssfinal_clean", args, 1)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if s.finalArmed && !s.finalPrepared {
+					s.finalPrepared = true
+					s.subsampling = s.configured && int(cnt) > s.n
+					if s.subsampling {
+						s.beginClean(int(cnt))
+					}
+				}
+				if !s.subsampling {
+					return value.NewBool(true), nil
+				}
+				return value.NewBool(s.cleanKeep(w)), nil
+			},
+		},
+	}
+	for i := range funcs {
+		if err := reg.RegisterFunc(&funcs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BasicSubsetSumStateName is the STATE of bssample, the basic (fixed
+// threshold) subset-sum predicate used as a UDF in selection queries —
+// both the paper's Figure 5 comparison point and the low-level pushdown of
+// Figure 6.
+const BasicSubsetSumStateName = "basic_subsetsum_state"
+
+type bssState struct {
+	counter float64
+}
+
+func registerBasicSubsetSum(reg *sfun.Registry) error {
+	if err := reg.RegisterState(&sfun.StateType{
+		Name: BasicSubsetSumStateName,
+		Init: func(old any) any { return &bssState{} },
+	}); err != nil {
+		return err
+	}
+	return reg.RegisterFunc(&sfun.Func{
+		// bssample(len, z) is basic subset-sum sampling at threshold z.
+		Name: "bssample", State: BasicSubsetSumStateName,
+		Call: func(state any, args []value.Value) (value.Value, error) {
+			s, ok := state.(*bssState)
+			if !ok {
+				return value.Value{}, fmt.Errorf("basic_subsetsum_state: wrong state type %T", state)
+			}
+			w, err := numArg("bssample", args, 0)
+			if err != nil {
+				return value.Value{}, err
+			}
+			z, err := numArg("bssample", args, 1)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if z <= 0 {
+				return value.Value{}, fmt.Errorf("bssample: threshold must be positive, got %v", z)
+			}
+			if w > z {
+				return value.NewBool(true), nil
+			}
+			s.counter += w
+			if s.counter > z {
+				s.counter -= z
+				return value.NewBool(true), nil
+			}
+			return value.NewBool(false), nil
+		},
+	})
+}
+
+// beginClean adjusts the threshold for a cleaning pass over cnt samples.
+func (s *ssState) beginClean(cnt int) {
+	s.cleanings++
+	s.zPrev = s.z
+	s.z = subsetsum.AdjustZ(s.z, cnt, s.n, s.big)
+	s.cleanCtr = 0
+	s.big = 0 // recomputed by the pass
+}
+
+// cleanKeep applies the basic subset-sum predicate at the new threshold to
+// one retained sample of recorded size w.
+func (s *ssState) cleanKeep(w float64) bool {
+	if w < s.zPrev {
+		w = s.zPrev
+	}
+	if w > s.z {
+		s.big++
+		return true
+	}
+	s.cleanCtr += w
+	if s.cleanCtr > s.z {
+		s.cleanCtr -= s.z
+		return true
+	}
+	return false
+}

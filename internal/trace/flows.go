@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+
+	"streamop/internal/xrand"
+)
+
+// FlowConfig parameterizes flow-structured traffic: packets grouped into
+// 5-tuple flows with Pareto-distributed sizes, used by the sampled-flows
+// extension and the flow aggregation experiments.
+type FlowConfig struct {
+	Seed     uint64
+	Duration float64 // simulated seconds
+	// FlowRate is the flow arrival rate in flows/sec.
+	FlowRate float64
+	// MeanPackets controls flow sizes: sizes are Pareto(alpha=1.3) with
+	// the minimum chosen so the mean is roughly MeanPackets.
+	MeanPackets float64
+	// PacketGap is the mean intra-flow packet spacing in seconds.
+	PacketGap float64
+	Hosts     uint64
+}
+
+// DefaultFlows returns moderate flow traffic: 200 flows/sec averaging
+// ~30 packets each (~6,000 pps).
+func DefaultFlows(seed uint64, duration float64) FlowConfig {
+	return FlowConfig{
+		Seed:        seed,
+		Duration:    duration,
+		FlowRate:    200,
+		MeanPackets: 30,
+		PacketGap:   0.02,
+		Hosts:       4096,
+	}
+}
+
+// flowState is one active flow's pending packet event.
+type flowState struct {
+	next      float64 // timestamp of the flow's next packet
+	remaining int
+	src, dst  uint32
+	sp, dp    uint16
+	proto     uint8
+	size      uint16 // this flow's characteristic packet length
+}
+
+type flowHeap []*flowState
+
+func (h flowHeap) Len() int            { return len(h) }
+func (h flowHeap) Less(i, j int) bool  { return h[i].next < h[j].next }
+func (h flowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flowHeap) Push(x interface{}) { *h = append(*h, x.(*flowState)) }
+func (h *flowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Flows generates flow-structured packets in timestamp order by merging
+// per-flow packet schedules with a priority queue.
+type Flows struct {
+	cfg     FlowConfig
+	rng     *xrand.Rand
+	addrs   *addrSpace
+	active  flowHeap
+	nextArr float64 // next flow arrival time
+}
+
+// NewFlows returns a flow-structured feed.
+func NewFlows(cfg FlowConfig) (*Flows, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: Duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.FlowRate <= 0 || cfg.MeanPackets < 1 || cfg.PacketGap <= 0 {
+		return nil, fmt.Errorf("trace: invalid flow parameters %+v", cfg)
+	}
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 4096
+	}
+	rng := xrand.New(cfg.Seed)
+	f := &Flows{cfg: cfg, rng: rng, addrs: newAddrSpace(rng, cfg.Hosts)}
+	f.nextArr = rng.ExpFloat64() / cfg.FlowRate
+	return f, nil
+}
+
+// newFlow creates a flow arriving at time t.
+func (f *Flows) newFlow(t float64) *flowState {
+	// Pareto(1.3) with mean alpha*xmin/(alpha-1): xmin = mean*(a-1)/a.
+	const alpha = 1.3
+	xmin := f.cfg.MeanPackets * (alpha - 1) / alpha
+	if xmin < 1 {
+		xmin = 1
+	}
+	n := int(f.rng.Pareto(alpha, xmin))
+	if n < 1 {
+		n = 1
+	}
+	sp, dp := f.addrs.ports()
+	size := pktLen(f.rng)
+	return &flowState{
+		next:      t,
+		remaining: n,
+		src:       f.addrs.src(),
+		dst:       f.addrs.dst(),
+		sp:        sp,
+		dp:        dp,
+		proto:     proto(f.rng),
+		size:      size,
+	}
+}
+
+// Next implements Feed.
+func (f *Flows) Next() (Packet, bool) {
+	for {
+		// Admit every flow that arrives before the earliest pending packet.
+		for f.nextArr < f.cfg.Duration &&
+			(f.active.Len() == 0 || f.nextArr <= f.active[0].next) {
+			heap.Push(&f.active, f.newFlow(f.nextArr))
+			f.nextArr += f.rng.ExpFloat64() / f.cfg.FlowRate
+		}
+		if f.active.Len() == 0 {
+			return Packet{}, false
+		}
+		fl := f.active[0]
+		if fl.next >= f.cfg.Duration {
+			heap.Pop(&f.active)
+			continue
+		}
+		p := Packet{
+			Time:    uint64(fl.next * 1e9),
+			SrcIP:   fl.src,
+			DstIP:   fl.dst,
+			SrcPort: fl.sp,
+			DstPort: fl.dp,
+			Proto:   fl.proto,
+			Len:     fl.size,
+		}
+		fl.remaining--
+		if fl.remaining == 0 {
+			heap.Pop(&f.active)
+		} else {
+			fl.next += f.rng.ExpFloat64() * f.cfg.PacketGap
+			heap.Fix(&f.active, 0)
+		}
+		return p, true
+	}
+}
+
+// FlowKey identifies a flow by its 5-tuple.
+type FlowKey struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Key returns the packet's flow key.
+func (p Packet) Key() FlowKey {
+	return FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+}

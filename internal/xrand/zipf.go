@@ -1,0 +1,100 @@
+package xrand
+
+import "math"
+
+// Zipf draws integers in [0, n) with P(k) proportional to 1/(k+1)^s.
+// IP addresses and flow keys in real traces follow such skewed laws, so the
+// synthetic feeds use Zipf-distributed address pools.
+//
+// The implementation precomputes the CDF for small n and uses rejection
+// inversion (Hörmann) for large n; both are exact for their range.
+type Zipf struct {
+	r   *Rand
+	n   uint64
+	s   float64
+	cdf []float64 // small-n path
+	// rejection-inversion parameters (large-n path)
+	oneMinusS     float64
+	hx0           float64
+	hImaxPlusHalf float64
+	sDiv          float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0.
+// It panics if n == 0 or s <= 0.
+func NewZipf(r *Rand, s float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("xrand: Zipf with n == 0")
+	}
+	if s <= 0 {
+		panic("xrand: Zipf with s <= 0")
+	}
+	z := &Zipf{r: r, n: n, s: s}
+	if n <= 1<<16 {
+		z.cdf = make([]float64, n)
+		sum := 0.0
+		for k := uint64(0); k < n; k++ {
+			sum += 1 / math.Pow(float64(k+1), s)
+			z.cdf[k] = sum
+		}
+		for k := range z.cdf {
+			z.cdf[k] /= sum
+		}
+		return z
+	}
+	z.oneMinusS = 1 - s
+	z.hx0 = z.h(0.5) - 1
+	z.hImaxPlusHalf = z.h(float64(n) + 0.5)
+	z.sDiv = 2 - z.hInv(z.h(1.5)-math.Pow(2, -s))
+	return z
+}
+
+// h is the antiderivative used by rejection inversion.
+func (z *Zipf) h(x float64) float64 {
+	if z.oneMinusS == 0 {
+		return math.Log(x)
+	}
+	return math.Pow(x, z.oneMinusS) / z.oneMinusS
+}
+
+func (z *Zipf) hInv(x float64) float64 {
+	if z.oneMinusS == 0 {
+		return math.Exp(x)
+	}
+	return math.Pow(x*z.oneMinusS, 1/z.oneMinusS)
+}
+
+// Uint64 returns the next Zipf variate in [0, n).
+func (z *Zipf) Uint64() uint64 {
+	if z.cdf != nil {
+		u := z.r.Float64()
+		// Binary search the CDF.
+		lo, hi := 0, len(z.cdf)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(z.cdf) {
+			lo = len(z.cdf) - 1
+		}
+		return uint64(lo)
+	}
+	for {
+		u := z.hImaxPlusHalf + z.r.Float64()*(z.hx0-z.hImaxPlusHalf)
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.sDiv || u >= z.h(k+0.5)-math.Pow(k, -z.s) {
+			return uint64(k) - 1
+		}
+	}
+}
