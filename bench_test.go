@@ -6,9 +6,11 @@ package streamop_test
 
 import (
 	"testing"
+	"time"
 
 	"streamop"
 	"streamop/internal/experiments"
+	"streamop/internal/telemetry"
 	"streamop/internal/trace"
 )
 
@@ -206,5 +208,66 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
 		if err := q.ProcessPacket(pkts[i&(1<<16-1)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTelemetryOverheadGuard enforces the telemetry budget: the fully
+// instrumented dynamic subset-sum query (metrics, no event log — the
+// -metrics configuration) must stay within 5% of the uninstrumented one.
+// Each iteration runs the same packet batch through both and tracks the
+// best observed ratio, which damps scheduler noise; the guard fails only
+// if no iteration meets the budget. Metric: best overhead in percent.
+func BenchmarkTelemetryOverheadGuard(b *testing.B) {
+	const query = `
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/1 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+	// ~3 simulated seconds at 20k pps: a few window flushes and cleaning
+	// phases per pass, so the instrumented run exercises every record site.
+	feed, err := trace.NewSteady(trace.SteadyConfig{Seed: 1, Duration: 1e9, Rate: 20000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]trace.Packet, 1<<16)
+	for i := range pkts {
+		pkts[i], _ = feed.Next()
+	}
+	defer telemetry.SetDefault(nil)
+	pass := func(col *telemetry.Collector) time.Duration {
+		telemetry.SetDefault(col)
+		q, err := streamop.Compile(query, streamop.Options{Seed: 1})
+		telemetry.SetDefault(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for _, p := range pkts {
+			if err := q.ProcessPacket(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := q.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	pass(nil) // warm up caches before the first measured pair
+	best := -1.0
+	for i := 0; i < b.N; i++ {
+		base := pass(nil)
+		instrumented := pass(telemetry.New())
+		overhead := float64(instrumented)/float64(base) - 1
+		if best < 0 || overhead < best {
+			best = overhead
+		}
+	}
+	b.ReportMetric(100*best, "overhead-%")
+	if best > 0.05 {
+		b.Errorf("telemetry overhead %.1f%% exceeds the 5%% budget", 100*best)
 	}
 }

@@ -16,26 +16,80 @@
 //
 // -quick shrinks every run for smoke testing; -seed controls all
 // randomness, so output is fully reproducible.
+//
+// -metrics serves live Prometheus telemetry for every operator and engine
+// the figures build (they pick up the ambient collector), and -events
+// streams their window-flush/cleaning events as JSONL. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"streamop/internal/experiments"
+	"streamop/internal/telemetry"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,relax,hhpush,cascade,all")
 	seed := flag.Uint64("seed", 42, "random seed for feeds and algorithms")
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke test")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry on this address while figures run")
+	eventsFile := flag.String("events", "", "stream JSONL telemetry events to this file")
 	flag.Parse()
 
-	if err := run(*fig, *seed, *quick); err != nil {
+	cleanup, err := setupTelemetry(*metricsAddr, *eventsFile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	runErr := run(*fig, *seed, *quick)
+	if err := cleanup(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		os.Exit(1)
+	}
+}
+
+// setupTelemetry installs the ambient collector the figures' operators and
+// engines pick up, and returns a cleanup that flushes the event log.
+func setupTelemetry(metricsAddr, eventsFile string) (cleanup func() error, err error) {
+	cleanup = func() error { return nil }
+	if metricsAddr == "" && eventsFile == "" {
+		return cleanup, nil
+	}
+	var col *telemetry.Collector
+	if eventsFile != "" {
+		f, err := os.Create(eventsFile)
+		if err != nil {
+			return nil, err
+		}
+		out := bufio.NewWriter(f)
+		col = telemetry.NewWithEvents(out)
+		cleanup = func() error {
+			if err := col.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	} else {
+		col = telemetry.New()
+	}
+	if metricsAddr != "" {
+		_, addr, err := col.Serve(metricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: telemetry at http://%s/metrics\n", addr)
+	}
+	telemetry.SetDefault(col)
+	return cleanup, nil
 }
 
 func run(fig string, seed uint64, quick bool) error {

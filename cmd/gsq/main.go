@@ -6,19 +6,33 @@
 //	gsq -query 'SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/10 as tb, srcIP' -feed steady -duration 5
 //	gsq -queryfile q.gsql -feed bursty -seed 7
 //	gsq -queryfile q.gsql -trace capture.sopt
+//	gsq -queryfile q.gsql -metrics :9090 -events run.jsonl -stats
 //
 // Feeds: bursty (research-center tap), steady (data-center tap), ddos,
 // flows, or a binary trace recorded with tracegen via -trace.
+//
+// The query runs as a low-level node of the two-level engine, draining a
+// ring buffer (-ring sets its capacity). -stats prints node counters plus
+// ring occupancy and drops; -metrics serves live Prometheus telemetry
+// (per-window sample size, subset-sum threshold trajectory, cleaning
+// phases, ...) and keeps serving after the feed drains until interrupted;
+// -events streams window-flush, cleaning and state-handoff events as
+// JSONL. See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"streamop/internal/core"
+	"streamop/internal/engine"
+	"streamop/internal/telemetry"
 	"streamop/internal/trace"
+	"streamop/internal/tuple"
 )
 
 func main() {
@@ -29,17 +43,22 @@ func main() {
 	duration := flag.Float64("duration", 5, "simulated feed duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
 	limit := flag.Int("limit", 0, "print at most this many rows (0 = all)")
-	stats := flag.Bool("stats", false, "print operator statistics to stderr")
+	stats := flag.Bool("stats", false, "print node statistics and ring occupancy/drops to stderr")
 	explain := flag.Bool("explain", false, "print the compiled plan and exit")
+	ringSize := flag.Int("ring", 4096, "ring-buffer capacity feeding the query node")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry on this address (e.g. :9090); keeps serving until interrupted")
+	eventsFile := flag.String("events", "", "stream JSONL telemetry events (window_flush, cleaning, state_handoff) to this file")
 	flag.Parse()
 
-	if err := run(*query, *queryFile, *feedKind, *traceFile, *duration, *seed, *limit, *stats, *explain); err != nil {
+	if err := run(*query, *queryFile, *feedKind, *traceFile, *duration, *seed,
+		*limit, *ringSize, *stats, *explain, *metricsAddr, *eventsFile); err != nil {
 		fmt.Fprintln(os.Stderr, "gsq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, queryFile, feedKind, traceFile string, duration float64, seed uint64, limit int, stats, explain bool) error {
+func run(query, queryFile, feedKind, traceFile string, duration float64, seed uint64,
+	limit, ringSize int, stats, explain bool, metricsAddr, eventsFile string) error {
 	if queryFile != "" {
 		b, err := os.ReadFile(queryFile)
 		if err != nil {
@@ -51,23 +70,7 @@ func run(query, queryFile, feedKind, traceFile string, duration float64, seed ui
 		return fmt.Errorf("no query given (use -query or -queryfile)")
 	}
 
-	feed, err := openFeed(feedKind, traceFile, duration, seed)
-	if err != nil {
-		return err
-	}
-
-	printed := 0
-	q, err := core.Compile(query, core.Options{
-		Seed: seed,
-		Emit: func(row core.Row) error {
-			if limit > 0 && printed >= limit {
-				return nil
-			}
-			printed++
-			fmt.Println(row.Values.String())
-			return nil
-		},
-	})
+	q, err := core.Compile(query, core.Options{Seed: seed})
 	if err != nil {
 		return err
 	}
@@ -75,14 +78,77 @@ func run(query, queryFile, feedKind, traceFile string, duration float64, seed ui
 		fmt.Print(q.Plan().Describe())
 		return nil
 	}
-	fmt.Println(strings.Join(q.Columns(), ","))
-	if err := q.RunFeed(feed); err != nil {
+
+	feed, err := openFeed(feedKind, traceFile, duration, seed)
+	if err != nil {
 		return err
 	}
+
+	// Telemetry is opt-in: without -metrics or -events the engine runs an
+	// uninstrumented (nil-collector) query.
+	var col *telemetry.Collector
+	if eventsFile != "" {
+		f, err := os.Create(eventsFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out := bufio.NewWriter(f)
+		col = telemetry.NewWithEvents(out)
+	} else if metricsAddr != "" {
+		col = telemetry.New()
+	}
+	if metricsAddr != "" {
+		srv, addr, err := col.Serve(metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics\n", addr)
+	}
+
+	e, err := engine.New(ringSize)
+	if err != nil {
+		return err
+	}
+	if col != nil {
+		e.SetCollector(col)
+	}
+	node, err := e.AddLowLevel("query", q.Plan())
+	if err != nil {
+		return err
+	}
+	printed := 0
+	node.Subscribe(func(row tuple.Tuple) error {
+		if limit > 0 && printed >= limit {
+			return nil
+		}
+		printed++
+		fmt.Println(row.String())
+		return nil
+	})
+
+	fmt.Println(strings.Join(q.Columns(), ","))
+	if err := e.Run(feed); err != nil {
+		return err
+	}
+	if err := col.Close(); err != nil {
+		return fmt.Errorf("flushing events: %w", err)
+	}
+
 	if stats {
-		s := q.Stats()
+		s := node.Stats().Operator
 		fmt.Fprintf(os.Stderr, "tuples in=%d accepted=%d out=%d groups=%d evicted=%d cleanings=%d windows=%d\n",
 			s.TuplesIn, s.TuplesAccepted, s.TuplesOut, s.GroupsCreated, s.GroupsEvicted, s.Cleanings, s.Windows)
+		fmt.Fprintf(os.Stderr, "ring cap=%d peak=%d drops=%d\n",
+			e.RingCap(), e.RingPeak(), e.Drops())
+	}
+
+	if metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "gsq: feed drained; still serving telemetry, interrupt (Ctrl-C) to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 	return nil
 }

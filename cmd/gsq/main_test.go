@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,14 +29,14 @@ func TestOpenFeedKinds(t *testing.T) {
 
 func TestRunQueryOverFeed(t *testing.T) {
 	err := run("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
-		"", "steady", "", 0.5, 1, 3, true, false)
+		"", "steady", "", 0.5, 1, 3, 4096, true, false, "", "")
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunExplain(t *testing.T) {
-	err := run("SELECT uts FROM PKT WHERE len > 0", "", "steady", "", 0.1, 1, 0, false, true)
+	err := run("SELECT uts FROM PKT WHERE len > 0", "", "steady", "", 0.1, 1, 0, 4096, false, true, "", "")
 	if err != nil {
 		t.Fatalf("run -explain: %v", err)
 	}
@@ -46,19 +48,52 @@ func TestRunQueryFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("SELECT uts FROM PKT WHERE len >= 1500"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "steady", "", 0.1, 1, 2, false, false); err != nil {
+	if err := run("", path, "steady", "", 0.1, 1, 2, 4096, false, false, "", ""); err != nil {
 		t.Fatalf("run -queryfile: %v", err)
 	}
-	if err := run("", filepath.Join(dir, "missing.gsql"), "steady", "", 0.1, 1, 0, false, false); err == nil {
+	if err := run("", filepath.Join(dir, "missing.gsql"), "steady", "", 0.1, 1, 0, 4096, false, false, "", ""); err == nil {
 		t.Error("missing query file accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "steady", "", 1, 1, 0, false, false); err == nil {
+	if err := run("", "", "steady", "", 1, 1, 0, 4096, false, false, "", ""); err == nil {
 		t.Error("empty query accepted")
 	}
-	if err := run("not a query", "", "steady", "", 1, 1, 0, false, false); err == nil {
+	if err := run("not a query", "", "steady", "", 1, 1, 0, 4096, false, false, "", ""); err == nil {
 		t.Error("bad query accepted")
+	}
+	if err := run("SELECT uts FROM PKT", "", "steady", "", 0.1, 1, 0, 4096, false, false, "", "/no/such/dir/ev.jsonl"); err == nil {
+		t.Error("unwritable events file accepted")
+	}
+}
+
+// TestRunEventsFile exercises -events end to end: the run must leave a
+// parseable JSONL file with at least one window_flush event.
+func TestRunEventsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	err := run("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		"", "steady", "", 2, 1, 0, 4096, false, false, "", path)
+	if err != nil {
+		t.Fatalf("run -events: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	flushes := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev["event"] == "window_flush" {
+			flushes++
+		}
+	}
+	if flushes == 0 {
+		t.Error("no window_flush events recorded")
 	}
 }

@@ -14,11 +14,13 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"streamop/internal/gsql"
 	"streamop/internal/operator"
 	"streamop/internal/ringbuf"
+	"streamop/internal/telemetry"
 	"streamop/internal/trace"
 	"streamop/internal/tuple"
 )
@@ -52,6 +54,8 @@ type Node struct {
 	tuplesIn      int64
 	out           int64
 	low           bool
+	// nm holds this node's telemetry gauges; nil when uninstrumented.
+	nm *nodeMetrics
 }
 
 // Schema returns the node's output stream schema.
@@ -111,6 +115,12 @@ type Engine struct {
 	firstTS, lastTS uint64
 	packets         int64
 	sawPacket       bool
+
+	// Telemetry (see telemetry.go); ringPeak tracks the source ring's
+	// high-water mark unconditionally.
+	tel      *telemetry.Collector
+	sm       *sourceMetrics
+	ringPeak atomic.Int64
 }
 
 // New returns an engine with a ring buffer of the given capacity
@@ -120,7 +130,11 @@ func New(ringSize int) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{ring: ring, names: map[string]bool{}}, nil
+	e := &Engine{ring: ring, names: map[string]bool{}}
+	if c := telemetry.Default(); c.Enabled() {
+		e.SetCollector(c)
+	}
+	return e, nil
 }
 
 func (e *Engine) checkName(name string) error {
@@ -155,6 +169,9 @@ func (e *Engine) AddLowLevel(name string, plan *gsql.Plan) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.tel != nil {
+		e.instrumentNode(n)
+	}
 	e.low = append(e.low, n)
 	return n, nil
 }
@@ -178,6 +195,9 @@ func (e *Engine) AddHighLevel(name string, parent *Node, plan *gsql.Plan) (*Node
 	n.op, err = operator.New(plan, n.emit)
 	if err != nil {
 		return nil, err
+	}
+	if e.tel != nil {
+		e.instrumentNode(n)
 	}
 	parent.subs = append(parent.subs, n)
 	e.high = append(e.high, n)
@@ -209,6 +229,8 @@ func (e *Engine) Run(feed trace.Feed) error {
 			e.packets++
 			e.ring.Push(p)
 		}
+		e.noteRingPeak()
+		e.syncSourceRing()
 		// Low-level consumers drain the ring in batches.
 		for {
 			n := e.ring.PopBatch(pkts)
@@ -226,6 +248,7 @@ func (e *Engine) Run(feed trace.Feed) error {
 					}
 				}
 				low.busy += time.Since(start)
+				low.syncTelemetry(0)
 			}
 			if err := e.runPartialBatch(pkts, n, scratch); err != nil {
 				return err
@@ -261,6 +284,10 @@ func (e *Engine) Run(feed trace.Feed) error {
 			return err
 		}
 	}
+	for _, n := range e.Nodes() {
+		n.syncTelemetry(0)
+	}
+	e.syncSourceRing()
 	return nil
 }
 
@@ -273,6 +300,9 @@ func (e *Engine) drainHigh() error {
 		}
 		q := h.queue
 		h.queue = nil
+		if h.nm != nil {
+			h.nm.queue.Set(float64(len(q)))
+		}
 		start := time.Now()
 		for _, row := range q {
 			h.tuplesIn++
@@ -282,6 +312,7 @@ func (e *Engine) drainHigh() error {
 			}
 		}
 		h.busy += time.Since(start)
+		h.syncTelemetry(len(h.queue))
 	}
 	return nil
 }
@@ -299,6 +330,9 @@ func (e *Engine) Packets() int64 { return e.packets }
 
 // Drops returns packets dropped at the ring buffer.
 func (e *Engine) Drops() uint64 { return e.ring.Drops() }
+
+// RingCap returns the source ring buffer's capacity.
+func (e *Engine) RingCap() int { return e.ring.Cap() }
 
 // Utilization returns node busy time divided by the simulated stream
 // duration: the fraction of one CPU the node consumes to keep up with the

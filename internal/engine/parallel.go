@@ -87,11 +87,14 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 					r.Push(p)
 				}
 			} else {
-				// Unpaced: backpressure instead of drops.
+				// Unpaced: backpressure instead of drops. Wait for room
+				// rather than retrying Push, which counts each failed
+				// attempt as a drop and would corrupt the drop telemetry.
 				for _, r := range rings {
-					for !r.Push(p) {
+					for r.Len() >= r.Cap() {
 						runtime.Gosched()
 					}
+					r.Push(p)
 				}
 			}
 		}
@@ -132,6 +135,8 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 					}
 				}
 				low.busy += time.Since(start)
+				low.syncTelemetry(0)
+				low.syncRing(ring)
 			}
 		}(low, rings[i])
 	}
@@ -151,6 +156,7 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 				h.tuplesIn++
 				err := h.opProcessParallel(row, chans)
 				h.busy += time.Since(start)
+				h.syncTelemetry(len(chans[h]))
 				if err != nil {
 					reportErr(fmt.Errorf("engine: node %q: %w", h.name, err))
 					failed = true
@@ -171,6 +177,13 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 	}
 
 	wg.Wait()
+	for i, low := range e.low {
+		low.syncTelemetry(0)
+		low.syncRing(rings[i])
+	}
+	for _, h := range e.high {
+		h.syncTelemetry(0)
+	}
 	select {
 	case err := <-errs:
 		return err

@@ -75,6 +75,9 @@ func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) 
 		plan:   plan,
 		gbVals: make([]value.Value, len(plan.GroupBy)),
 	}
+	if e.tel != nil {
+		e.instrumentNode(&n.Node)
+	}
 	e.lowPartial = append(e.lowPartial, n)
 	return n, nil
 }

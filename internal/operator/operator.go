@@ -20,9 +20,11 @@ package operator
 
 import (
 	"fmt"
+	"time"
 
 	"streamop/internal/agg"
 	"streamop/internal/gsql"
+	"streamop/internal/telemetry"
 	"streamop/internal/tuple"
 	"streamop/internal/value"
 )
@@ -81,6 +83,14 @@ type Operator struct {
 	sgVals  []value.Value // scratch: supergroup key values
 	argVals []value.Value // scratch: superaggregate argument values
 	stats   Stats
+
+	// Telemetry (see telemetry.go). tel and om are nil unless a collector
+	// is attached; the per-tuple path never touches them.
+	tel       *telemetry.Collector
+	telName   string
+	om        *opMetrics
+	windowIdx int64 // windows flushed so far; x-coordinate of the series
+	winBase   Stats // counters as of the previous window flush
 }
 
 // New creates an operator for plan, sending output rows to emit.
@@ -105,6 +115,9 @@ func New(plan *gsql.Plan, emit Emit) (*Operator, error) {
 		for i, sd := range plan.States {
 			o.selStates[i] = sd.Type.Init(nil)
 		}
+	}
+	if c := telemetry.Default(); c.Enabled() {
+		o.SetCollector(c, defaultTelemetryName())
 	}
 	return o, nil
 }
@@ -317,6 +330,9 @@ func (o *Operator) findOrCreateSupergroup() *supergroup {
 	}
 	o.sgNew[key.Hash()] = append(o.sgNew[key.Hash()], sg)
 	o.sgList = append(o.sgList, sg)
+	if old != nil && o.tel.EventsEnabled() {
+		o.recordHandoff(sg)
+	}
 	return sg
 }
 
@@ -349,6 +365,15 @@ func (o *Operator) findOrCreateGroup(sg *supergroup) (*group, bool) {
 // evicting groups where it evaluates FALSE.
 func (o *Operator) cleanSupergroup(sg *supergroup) error {
 	o.stats.Cleanings++
+	var cleanStart time.Time
+	if o.om != nil {
+		cleanStart = time.Now()
+		before := len(sg.groups)
+		defer func() {
+			kept := len(sg.groups)
+			o.recordCleaning(sg, time.Since(cleanStart).Seconds(), before-kept, kept)
+		}()
+	}
 	if o.plan.CleaningBy == nil {
 		return nil
 	}
@@ -440,6 +465,11 @@ func (o *Operator) flushWindow() error {
 			}
 		}
 	}
+	if o.om != nil {
+		o.recordWindow(o.winBase)
+	}
+	o.windowIdx++
+	o.winBase = o.stats
 	// Rotate: current supergroups become the "old" table for state
 	// handoff; group tables clear.
 	o.groups = make(map[uint64][]*group)

@@ -1,0 +1,189 @@
+package operator_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"streamop/internal/gsql"
+	"streamop/internal/operator"
+	"streamop/internal/sfunlib"
+	"streamop/internal/telemetry"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+const ssQuery = `
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 20, 2, 10) = TRUE
+GROUP BY time/5 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+
+// instrumentedRun processes packets through an operator wired to a fresh
+// collector with a JSONL event sink.
+func instrumentedRun(t *testing.T, src string, packets []trace.Packet) (*operator.Operator, *telemetry.Collector, *bytes.Buffer) {
+	t.Helper()
+	q, err := gsql.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	plan, err := gsql.Analyze(q, trace.Schema(), sfunlib.Default(1))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	op, err := operator.New(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events bytes.Buffer
+	c := telemetry.NewWithEvents(&events)
+	op.SetCollector(c, "q")
+	buf := make(tuple.Tuple, trace.NumFields)
+	for _, p := range packets {
+		p.AppendTuple(buf)
+		if err := op.Process(buf.Clone()); err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+	}
+	if err := op.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return op, c, &events
+}
+
+func TestOperatorWindowSeries(t *testing.T) {
+	pkts := synthPackets(4000, 20, 200, 100, 3)
+	op, c, _ := instrumentedRun(t, ssQuery, pkts)
+	snap := c.Snapshot()
+
+	st := op.Stats()
+	if st.Windows != 4 {
+		t.Fatalf("windows = %d, want 4", st.Windows)
+	}
+	m, ok := snap.Get("streamop_window_sample_size")
+	if !ok {
+		t.Fatal("missing streamop_window_sample_size")
+	}
+	if len(m.Values) != 1 || len(m.Values[0].Points) != 4 {
+		t.Fatalf("sample-size series = %+v, want 4 points", m.Values)
+	}
+	var total float64
+	for i, p := range m.Values[0].Points {
+		if p.X != float64(i) {
+			t.Errorf("point %d has x=%v", i, p.X)
+		}
+		total += p.V
+	}
+	if int64(total) != st.TuplesOut {
+		t.Errorf("series sum = %v, stats TuplesOut = %d", total, st.TuplesOut)
+	}
+
+	// Counters synced at the final flush match the operator's stats.
+	for name, want := range map[string]int64{
+		"streamop_operator_tuples_in_total":  st.TuplesIn,
+		"streamop_operator_tuples_out_total": st.TuplesOut,
+		"streamop_operator_windows_total":    st.Windows,
+		"streamop_operator_cleanings_total":  st.Cleanings,
+	} {
+		if got, ok := snap.Value(name, "q"); !ok || int64(got) != want {
+			t.Errorf("%s = %v (ok=%v), want %d", name, got, ok, want)
+		}
+	}
+}
+
+func TestOperatorThresholdTrajectory(t *testing.T) {
+	pkts := synthPackets(4000, 20, 200, 100, 3)
+	_, c, _ := instrumentedRun(t, ssQuery, pkts)
+	snap := c.Snapshot()
+	m, ok := snap.Get("streamop_sfun_gauge")
+	if !ok {
+		t.Fatal("missing streamop_sfun_gauge")
+	}
+	var threshold []telemetry.Point
+	for _, v := range m.Values {
+		if v.LabelValues[1] == sfunlib.SubsetSumStateName && v.LabelValues[2] == "threshold" {
+			threshold = v.Points
+		}
+	}
+	if len(threshold) != 4 {
+		t.Fatalf("threshold series has %d points, want 4", len(threshold))
+	}
+	for _, p := range threshold {
+		if p.V <= 0 {
+			t.Errorf("threshold at window %v is %v, want > 0", p.X, p.V)
+		}
+	}
+
+	// The same series must appear in the Prometheus exposition with a
+	// window label per point.
+	var b bytes.Buffer
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `streamop_sfun_gauge{node="q",state="subsetsum_sampling_state",gauge="threshold",window="0"}`) {
+		t.Errorf("prometheus output lacks the threshold series:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `streamop_window_sample_size{node="q",window="0"}`) {
+		t.Error("prometheus output lacks the sample-size series")
+	}
+}
+
+func TestOperatorEvents(t *testing.T) {
+	pkts := synthPackets(4000, 20, 200, 100, 3)
+	op, _, events := instrumentedRun(t, ssQuery, pkts)
+	st := op.Stats()
+
+	counts := map[string]int{}
+	sampleSum := int64(0)
+	sc := bufio.NewScanner(bytes.NewReader(events.Bytes()))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		typ, _ := ev["event"].(string)
+		counts[typ]++
+		switch typ {
+		case "window_flush":
+			sampleSum += int64(ev["sample_size"].(float64))
+			if ev["node"] != "q" {
+				t.Errorf("window_flush node = %v", ev["node"])
+			}
+		case "cleaning":
+			if _, ok := ev["duration_ns"]; !ok {
+				t.Error("cleaning event lacks duration_ns")
+			}
+		}
+	}
+	if counts["window_flush"] != int(st.Windows) {
+		t.Errorf("window_flush events = %d, windows = %d", counts["window_flush"], st.Windows)
+	}
+	if counts["cleaning"] != int(st.Cleanings) {
+		t.Errorf("cleaning events = %d, cleanings = %d", counts["cleaning"], st.Cleanings)
+	}
+	// 4 windows of one ALL supergroup each: 3 handoffs (every window but
+	// the first inherits the previous window's state).
+	if counts["state_handoff"] != int(st.Windows)-1 {
+		t.Errorf("state_handoff events = %d, want %d", counts["state_handoff"], st.Windows-1)
+	}
+	if sampleSum != st.TuplesOut {
+		t.Errorf("sample_size sum = %d, TuplesOut = %d", sampleSum, st.TuplesOut)
+	}
+}
+
+func TestOperatorUninstrumentedUnchanged(t *testing.T) {
+	// The same query with and without a collector emits identical rows.
+	pkts := synthPackets(3000, 15, 100, 100, 9)
+	plain := run(t, ssQuery, pkts)
+	op, c, _ := instrumentedRun(t, ssQuery, pkts)
+	_ = c
+	inst := op.Stats()
+	if int64(len(plain)) != inst.TuplesOut {
+		t.Errorf("plain rows = %d, instrumented TuplesOut = %d", len(plain), inst.TuplesOut)
+	}
+}

@@ -40,9 +40,22 @@ func New[T any](capacity int) (*Ring[T], error) {
 func (r *Ring[T]) Cap() int { return len(r.buf) }
 
 // Len returns the number of buffered elements (approximate under
-// concurrency).
+// concurrency). The two counters are loaded independently, so a Push or
+// Pop racing with Len can make the raw difference transiently negative or
+// larger than the capacity (e.g. Pop advancing head after tail was read);
+// the result is clamped to [0, Cap()] so callers never see a wrapped
+// value.
 func (r *Ring[T]) Len() int {
-	return int(r.tail.Load() - r.head.Load())
+	tail := r.tail.Load()
+	head := r.head.Load()
+	n := int64(tail) - int64(head)
+	if n < 0 {
+		return 0
+	}
+	if n > int64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(n)
 }
 
 // Push appends v. It reports false — and counts a drop — if the ring is

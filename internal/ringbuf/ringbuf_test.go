@@ -160,6 +160,54 @@ func TestConcurrentSPSC(t *testing.T) {
 	}
 }
 
+// TestLenClamped is the regression test for the transient Len underflow:
+// Len used to compute tail-head in uint64, so a Pop advancing head between
+// the two loads wrapped the difference to a huge positive value. Hammer
+// Len from a third goroutine while the SPSC pair runs and require every
+// observation to stay within [0, Cap()].
+func TestLenClamped(t *testing.T) {
+	r, _ := New[int](64)
+	const total = 300000
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			r.Push(i)
+		}
+		close(done)
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for {
+			if _, ok := r.Pop(); ok {
+				continue
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	go func() { // Len observer
+		defer wg.Done()
+		for {
+			if n := r.Len(); n < 0 || n > r.Cap() {
+				t.Errorf("Len = %d outside [0, %d]", n, r.Cap())
+				return
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	r, _ := New[int](4096)
 	for i := 0; i < b.N; i++ {

@@ -44,6 +44,15 @@ type Func struct {
 	Call func(state any, args []value.Value) (value.Value, error)
 }
 
+// Observable is implemented by state blobs that expose live gauges for
+// telemetry: the operator polls it at window flush, recording each emitted
+// (name, value) pair as a per-window series — the current subset-sum
+// threshold, a reservoir's fill, a heavy-hitter bucket index. Emitting no
+// pairs is fine; emit must not be retained past the call.
+type Observable interface {
+	Gauges(emit func(name string, v float64))
+}
+
 // Accumulator is one instance of a user-defined aggregate: it folds in one
 // value per tuple of its group and reports the aggregate at output time.
 // (It is structurally identical to the built-in aggregate interface.)

@@ -33,6 +33,13 @@ type dsState struct {
 	level      uint
 }
 
+// Gauges implements sfun.Observable: the sampling level and the number of
+// distinct values each retained hash represents (2^level).
+func (s *dsState) Gauges(emit func(string, float64)) {
+	emit("level", float64(s.level))
+	emit("scale", float64(uint64(1)<<s.level))
+}
+
 func asDS(state any) (*dsState, error) {
 	s, ok := state.(*dsState)
 	if !ok {

@@ -19,6 +19,19 @@ type hhState struct {
 	count int64 // tuples seen this window
 }
 
+// Gauges implements sfun.Observable: the lossy-counting bucket index and
+// the stream position it derives from.
+func (s *hhState) Gauges(emit func(string, float64)) {
+	emit("tuples_seen", float64(s.count))
+	bucket := int64(1)
+	if s.w > 0 {
+		if b := (s.count + s.w - 1) / s.w; b > 1 {
+			bucket = b
+		}
+	}
+	emit("current_bucket", float64(bucket))
+}
+
 func asHH(state any) (*hhState, error) {
 	s, ok := state.(*hhState)
 	if !ok {

@@ -1,0 +1,39 @@
+package sfunlib
+
+import (
+	"testing"
+
+	"streamop/internal/sfun"
+)
+
+// TestStatesAreObservable pins that every sampling-family state blob
+// exposes telemetry gauges through sfun.Observable, and that a fresh
+// state emits sane values.
+func TestStatesAreObservable(t *testing.T) {
+	reg := Default(1)
+	cases := map[string][]string{
+		SubsetSumStateName:   {"threshold", "big_samples", "small_mass_counter", "cleanings_window"},
+		ReservoirStateName:   {"reservoir_fill", "reservoir_target", "records_seen"},
+		HeavyHitterStateName: {"tuples_seen", "current_bucket"},
+		DistinctStateName:    {"level", "scale"},
+		PriorityStateName:    {"sample_fill", "tau"},
+	}
+	for name, wantGauges := range cases {
+		st, ok := reg.State(name)
+		if !ok {
+			t.Fatalf("state %s not registered", name)
+		}
+		obs, ok := st.Init(nil).(sfun.Observable)
+		if !ok {
+			t.Errorf("state %s does not implement sfun.Observable", name)
+			continue
+		}
+		got := map[string]float64{}
+		obs.Gauges(func(g string, v float64) { got[g] = v })
+		for _, g := range wantGauges {
+			if _, ok := got[g]; !ok {
+				t.Errorf("state %s: missing gauge %q (got %v)", name, g, got)
+			}
+		}
+	}
+}

@@ -59,6 +59,13 @@ type psState struct {
 	tau        float64
 }
 
+// Gauges implements sfun.Observable: the k-set occupancy and the
+// priority threshold tau that scales the estimator.
+func (s *psState) Gauges(emit func(string, float64)) {
+	emit("sample_fill", float64(len(s.items)))
+	emit("tau", s.tau)
+}
+
 func asPS(state any) (*psState, error) {
 	s, ok := state.(*psState)
 	if !ok {

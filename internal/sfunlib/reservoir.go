@@ -39,6 +39,14 @@ type rsState struct {
 	order []uint64        // slot -> tag, for random replacement
 }
 
+// Gauges implements sfun.Observable: reservoir occupancy against its
+// target plus the records offered this window.
+func (s *rsState) Gauges(emit func(string, float64)) {
+	emit("reservoir_fill", float64(len(s.order)))
+	emit("reservoir_target", float64(s.n))
+	emit("records_seen", float64(s.seen))
+}
+
 // configure handles rsample(tag, n [, tolerance]).
 func (s *rsState) configure(args []value.Value) error {
 	n, err := intArg("rsample", args, 1)

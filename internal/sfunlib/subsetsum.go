@@ -32,6 +32,16 @@ type ssState struct {
 	subsampling   bool
 }
 
+// Gauges implements sfun.Observable: the threshold trajectory is the
+// quantity the paper's relaxation argument (§5.2) is about, so it is the
+// headline telemetry series for subset-sum sampling.
+func (s *ssState) Gauges(emit func(string, float64)) {
+	emit("threshold", s.z)
+	emit("big_samples", float64(s.big))
+	emit("small_mass_counter", s.counter)
+	emit("cleanings_window", float64(s.cleanings))
+}
+
 // Configuration argument layout of ssample:
 //
 //	ssample(len, N [, theta [, relax [, z0]]])

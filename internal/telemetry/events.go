@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog writes structured events as JSON Lines: one object per event
+// with "event", "seq" and "ts" (RFC 3339 with nanoseconds) fields merged
+// with the caller's payload. Writes are serialized; a failed write drops
+// the event and increments Dropped (telemetry must never abort the query
+// it observes).
+type EventLog struct {
+	mu      sync.Mutex
+	w       io.Writer
+	seq     int64
+	dropped int64
+	now     func() time.Time
+}
+
+// NewEventLog returns an event log writing to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, now: time.Now}
+}
+
+// Emit writes one event. fields may be nil; the reserved keys "event",
+// "seq" and "ts" are overwritten if present.
+func (l *EventLog) Emit(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	obj := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["event"] = event
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	obj["seq"] = l.seq
+	obj["ts"] = l.now().Format(time.RFC3339Nano)
+	b, err := json.Marshal(obj)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = l.w.Write(b)
+	}
+	if err != nil {
+		l.dropped++
+	}
+}
+
+// Dropped returns the number of events lost to marshal or write errors.
+func (l *EventLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Flush flushes the underlying writer if it supports it.
+func (l *EventLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.w.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an HTTP handler exposing the collector:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  the typed Snapshot as JSON
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(c.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "streamop telemetry: /metrics (Prometheus text), /metrics.json (typed snapshot)")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for Handler on addr (e.g. ":9090") in a
+// background goroutine and returns it with the bound address (useful with
+// ":0"). Shut it down with srv.Close.
+func (c *Collector) Serve(addr string) (srv *http.Server, bound net.Addr, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv = &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4).
+//
+// Counters, gauges and histograms follow the standard conventions. Series
+// render as a gauge family with one sample per retained point, the point's
+// x-coordinate attached as a synthetic trailing "window" label — so a
+// single scrape carries the whole per-window trajectory (sample size,
+// threshold, ...) rather than only its latest value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, strings.ReplaceAll(m.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			return err
+		}
+		for _, v := range m.Values {
+			if err := writePromValue(w, m, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromValue(w io.Writer, m MetricSnapshot, v MetricValue) error {
+	switch m.Kind {
+	case KindHistogram:
+		for _, b := range v.Buckets {
+			ls := promLabels(m.Labels, v.LabelValues, "le", formatFloat(b.UpperBound))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, ls, b.Count); err != nil {
+				return err
+			}
+		}
+		ls := promLabels(m.Labels, v.LabelValues, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, ls, v.Count); err != nil {
+			return err
+		}
+		base := promLabels(m.Labels, v.LabelValues)
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, base, formatFloat(v.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, base, v.Count)
+		return err
+	case KindSeries:
+		for _, p := range v.Points {
+			ls := promLabels(m.Labels, v.LabelValues, "window", formatFloat(p.X))
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, ls, formatFloat(p.V)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		ls := promLabels(m.Labels, v.LabelValues)
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, ls, formatFloat(v.Value))
+		return err
+	}
+}
+
+// promLabels renders a label set, appending optional extra name/value
+// pairs (given as alternating arguments).
+func promLabels(names, vals []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	put := func(name, val string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(val))
+		b.WriteByte('"')
+	}
+	for i, n := range names {
+		put(n, vals[i])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		put(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// MetricValue is one child (label combination) of a metric family.
+type MetricValue struct {
+	LabelValues []string `json:"labelValues,omitempty"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value,omitempty"`
+	// Count, Sum and Buckets carry histograms.
+	Count   int64         `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Points carries series, oldest first.
+	Points []Point `json:"points,omitempty"`
+}
+
+// MetricSnapshot is the full state of one metric family.
+type MetricSnapshot struct {
+	Name   string        `json:"name"`
+	Help   string        `json:"help,omitempty"`
+	Kind   Kind          `json:"kind"`
+	Labels []string      `json:"labels,omitempty"`
+	Values []MetricValue `json:"values"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Get returns the family named name; ok is false if absent.
+func (s Snapshot) Get(name string) (MetricSnapshot, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// Value returns the scalar value of the child of family name whose label
+// values equal labelVals (counter and gauge children report Value; for
+// histograms it is the observation count, for series the last point).
+func (s Snapshot) Value(name string, labelVals ...string) (float64, bool) {
+	m, ok := s.Get(name)
+	if !ok {
+		return 0, false
+	}
+outer:
+	for _, v := range m.Values {
+		if len(v.LabelValues) != len(labelVals) {
+			continue
+		}
+		for i := range labelVals {
+			if v.LabelValues[i] != labelVals[i] {
+				continue outer
+			}
+		}
+		switch m.Kind {
+		case KindHistogram:
+			return float64(v.Count), true
+		case KindSeries:
+			if n := len(v.Points); n > 0 {
+				return v.Points[n-1].V, true
+			}
+			return 0, false
+		default:
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	var snap Snapshot
+	for _, f := range fams {
+		ms := MetricSnapshot{Name: f.name, Help: f.help, Kind: f.kind, Labels: f.labels}
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		for _, key := range keys {
+			mv := MetricValue{LabelValues: f.labelSet[key]}
+			switch c := f.children[key].(type) {
+			case *Counter:
+				mv.Value = float64(c.Value())
+			case *Gauge:
+				mv.Value = c.Value()
+			case *Histogram:
+				mv.Count = c.Count()
+				mv.Sum = c.Sum()
+				cum := int64(0)
+				for i, b := range c.bounds {
+					cum += c.counts[i].Load()
+					mv.Buckets = append(mv.Buckets, BucketCount{UpperBound: b, Count: cum})
+				}
+			case *Series:
+				mv.Points = c.Points()
+			}
+			ms.Values = append(ms.Values, mv)
+		}
+		f.mu.RUnlock()
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	return snap
+}

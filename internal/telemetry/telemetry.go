@@ -1,0 +1,110 @@
+// Package telemetry is the engine's observability layer: low-overhead
+// metric primitives (atomic counters, gauges, fixed-bucket histograms and
+// bounded per-window series) organized in a registry of labeled families,
+// plus a structured JSONL event log.
+//
+// Every figure of the paper is a time series over windows — sample-size
+// trajectories (Figs. 3–4), per-node CPU (Figs. 5–6), cleaning behavior
+// under load — and this package lets those quantities be watched while a
+// query runs instead of reconstructed from end-of-run counters.
+//
+// Exposition is threefold:
+//
+//   - Snapshot() returns typed metric values for tests and library users;
+//   - WritePrometheus() renders the registry in the Prometheus text
+//     format, served by Serve() for live scraping;
+//   - an EventLog streams window-flush / cleaning / state-handoff events
+//     as one JSON object per line.
+//
+// Instrumented code holds a *Collector, which is nil-safe: a nil (or
+// absent) collector disables all recording, and instrumentation sites are
+// placed at window and cleaning boundaries — never per tuple — so the
+// disabled path costs nothing measurable (see bench_test.go and the guard
+// in the repository root's bench_test.go).
+package telemetry
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// Collector bundles a metric registry with an optional event log. A nil
+// *Collector is a valid, fully disabled collector: every method is
+// nil-safe.
+type Collector struct {
+	reg *Registry
+	ev  *EventLog
+}
+
+// New returns an enabled collector with a fresh registry and no event log.
+func New() *Collector {
+	return &Collector{reg: NewRegistry()}
+}
+
+// NewWithEvents returns a collector that also streams events to w as
+// JSONL. w may be buffered; Close flushes it if it implements
+// interface{ Flush() error }.
+func NewWithEvents(w io.Writer) *Collector {
+	return &Collector{reg: NewRegistry(), ev: NewEventLog(w)}
+}
+
+// Enabled reports whether the collector records metrics.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Registry returns the metric registry, or nil for a disabled collector.
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// EventsEnabled reports whether Emit writes anywhere. Callers building
+// expensive field maps should check it first.
+func (c *Collector) EventsEnabled() bool { return c != nil && c.ev != nil }
+
+// Emit writes one structured event if an event log is attached.
+func (c *Collector) Emit(event string, fields map[string]any) {
+	if c == nil || c.ev == nil {
+		return
+	}
+	c.ev.Emit(event, fields)
+}
+
+// Snapshot returns the current value of every registered metric.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return c.reg.Snapshot()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return c.reg.WritePrometheus(w)
+}
+
+// Close flushes the event log, if any.
+func (c *Collector) Close() error {
+	if c == nil || c.ev == nil {
+		return nil
+	}
+	return c.ev.Flush()
+}
+
+// defaultCollector is the ambient collector picked up by operator.New and
+// engine.New when no explicit collector is set — how the CLIs instrument
+// code paths (cmd/experiments) that build operators internally.
+var defaultCollector atomic.Pointer[Collector]
+
+// Default returns the process-wide ambient collector, or nil when
+// telemetry is disabled (the default).
+func Default() *Collector { return defaultCollector.Load() }
+
+// SetDefault installs c as the ambient collector for operators and
+// engines created afterwards.
+func SetDefault(c *Collector) { defaultCollector.Store(c) }
