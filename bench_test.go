@@ -5,13 +5,19 @@
 package streamop_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"streamop"
+	"streamop/internal/engine"
 	"streamop/internal/experiments"
+	"streamop/internal/gsql"
+	"streamop/internal/sfunlib"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
+	"streamop/internal/tracing"
+	"streamop/internal/tuple"
 )
 
 // benchAccuracyCfg is a reduced Figure 2/3/4 configuration sized for
@@ -211,12 +217,38 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
 	}
 }
 
+// guardOverhead runs interleaved base/variant passes and compares the
+// minimum observed time on each side: the minima estimate the true cost
+// with transient load filtered out, so one quiet pass per side is enough
+// for an honest ratio. (A best-of-pair-ratios scheme fails when a load
+// burst covers every variant pass but pairs it with quiet base passes;
+// interleaving plus min-vs-min needs the burst to cover one whole side.)
+// A forced GC before each timed pass keeps the variant's extra
+// allocations from billing collection pauses to its own timing. Runs at
+// least 5 pairs even when b.N is 1 (the CI -benchtime=1x smoke run).
+func guardOverhead(bN int, base, variant func() time.Duration) float64 {
+	iters := bN
+	if iters < 5 {
+		iters = 5
+	}
+	minBase, minVar := time.Duration(0), time.Duration(0)
+	for i := 0; i < iters; i++ {
+		runtime.GC()
+		if d := base(); minBase == 0 || d < minBase {
+			minBase = d
+		}
+		runtime.GC()
+		if d := variant(); minVar == 0 || d < minVar {
+			minVar = d
+		}
+	}
+	return float64(minVar)/float64(minBase) - 1
+}
+
 // BenchmarkTelemetryOverheadGuard enforces the telemetry budget: the fully
 // instrumented dynamic subset-sum query (metrics, no event log — the
 // -metrics configuration) must stay within 5% of the uninstrumented one.
-// Each iteration runs the same packet batch through both and tracks the
-// best observed ratio, which damps scheduler noise; the guard fails only
-// if no iteration meets the budget. Metric: best overhead in percent.
+// Metric: min-vs-min overhead in percent.
 func BenchmarkTelemetryOverheadGuard(b *testing.B) {
 	const query = `
 SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
@@ -226,13 +258,15 @@ GROUP BY time/1 as tb, srcIP, uts
 HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
 CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
 CLEANING BY ssclean_with(sum(len)) = TRUE`
-	// ~3 simulated seconds at 20k pps: a few window flushes and cleaning
-	// phases per pass, so the instrumented run exercises every record site.
+	// ~13 simulated seconds at 20k pps: a dozen window flushes and several
+	// cleaning phases per pass, so the instrumented run exercises every
+	// record site, and each pass runs long enough (~100ms) for the
+	// paired ratio to rise above scheduler jitter.
 	feed, err := trace.NewSteady(trace.SteadyConfig{Seed: 1, Duration: 1e9, Rate: 20000})
 	if err != nil {
 		b.Fatal(err)
 	}
-	pkts := make([]trace.Packet, 1<<16)
+	pkts := make([]trace.Packet, 1<<18)
 	for i := range pkts {
 		pkts[i], _ = feed.Next()
 	}
@@ -257,17 +291,88 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`
 	}
 
 	pass(nil) // warm up caches before the first measured pair
-	best := -1.0
-	for i := 0; i < b.N; i++ {
-		base := pass(nil)
-		instrumented := pass(telemetry.New())
-		overhead := float64(instrumented)/float64(base) - 1
-		if best < 0 || overhead < best {
-			best = overhead
-		}
+	overhead := guardOverhead(b.N,
+		func() time.Duration { return pass(nil) },
+		func() time.Duration { return pass(telemetry.New()) })
+	b.ReportMetric(100*overhead, "overhead-%")
+	if overhead > 0.05 {
+		b.Errorf("telemetry overhead %.1f%% exceeds the 5%% budget", 100*overhead)
 	}
-	b.ReportMetric(100*best, "overhead-%")
-	if best > 0.05 {
-		b.Errorf("telemetry overhead %.1f%% exceeds the 5%% budget", 100*best)
+}
+
+// sliceFeed replays a fixed packet slice, so paired engine runs see
+// byte-identical input.
+type sliceFeed struct {
+	pkts []trace.Packet
+	i    int
+}
+
+func (f *sliceFeed) Next() (trace.Packet, bool) {
+	if f.i >= len(f.pkts) {
+		return trace.Packet{}, false
+	}
+	p := f.pkts[f.i]
+	f.i++
+	return p, true
+}
+
+// BenchmarkTracingOverheadGuard enforces the provenance-tracing budget:
+// the full engine admit path with a tracer attached at 1-in-1000 must
+// stay within 10% of the tracer-free run. Tracing off costs one nil check
+// per packet and is covered by the telemetry guard above staying green
+// with tracing compiled in. Same min-vs-min damping as the telemetry
+// guard. Metric: min-vs-min overhead in percent.
+func BenchmarkTracingOverheadGuard(b *testing.B) {
+	const query = `
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/1 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+	feed, err := trace.NewSteady(trace.SteadyConfig{Seed: 1, Duration: 1e9, Rate: 20000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]trace.Packet, 1<<18)
+	for i := range pkts {
+		pkts[i], _ = feed.Next()
+	}
+	pass := func(traced bool) time.Duration {
+		q, err := gsql.Parse(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := gsql.Analyze(q, trace.Schema(), sfunlib.Default(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := e.AddLowLevel("q", plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Subscribe(func(tuple.Tuple) error { return nil })
+		if traced {
+			e.SetTracer(tracing.New(tracing.Config{Every: 1000, Seed: 1}))
+		}
+		start := time.Now()
+		if err := e.Run(&sliceFeed{pkts: pkts}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	pass(false) // warm up caches before the first measured pair
+	overhead := guardOverhead(b.N,
+		func() time.Duration { return pass(false) },
+		func() time.Duration { return pass(true) })
+	b.ReportMetric(100*overhead, "overhead-%")
+	if overhead > 0.10 {
+		b.Errorf("tracing overhead %.1f%% exceeds the 10%% budget", 100*overhead)
 	}
 }

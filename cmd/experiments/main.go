@@ -17,10 +17,13 @@
 // -quick shrinks every run for smoke testing; -seed controls all
 // randomness, so output is fully reproducible.
 //
-// -metrics serves live Prometheus telemetry for every operator and engine
-// the figures build (they pick up the ambient collector), and -events
-// streams their window-flush/cleaning events as JSONL. See
-// docs/OBSERVABILITY.md.
+// -metrics serves live Prometheus telemetry plus the /debug introspection
+// surface (/debug/plan, /debug/state, /debug/pprof) for every operator and
+// engine the figures build (they pick up the ambient collector), and
+// -events streams their window-flush/cleaning events as JSONL. -trace
+// installs an ambient provenance tracer: every engine the figures build
+// traces one in -trace-every source packets and the merged spans land in
+// one Chrome trace-event JSON file. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -31,17 +34,20 @@ import (
 
 	"streamop/internal/experiments"
 	"streamop/internal/telemetry"
+	"streamop/internal/tracing"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,relax,hhpush,cascade,all")
 	seed := flag.Uint64("seed", 42, "random seed for feeds and algorithms")
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke test")
-	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry on this address while figures run")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry and /debug introspection on this address while figures run")
 	eventsFile := flag.String("events", "", "stream JSONL telemetry events to this file")
+	traceOut := flag.String("trace", "", "write provenance traces from every engine as Chrome trace-event JSON to this file")
+	traceEvery := flag.Int("trace-every", 1000, "with -trace: trace one in this many source packets per engine")
 	flag.Parse()
 
-	cleanup, err := setupTelemetry(*metricsAddr, *eventsFile)
+	cleanup, err := setupTelemetry(*metricsAddr, *eventsFile, *traceOut, *traceEvery, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -56,14 +62,16 @@ func main() {
 	}
 }
 
-// setupTelemetry installs the ambient collector the figures' operators and
-// engines pick up, and returns a cleanup that flushes the event log.
-func setupTelemetry(metricsAddr, eventsFile string) (cleanup func() error, err error) {
+// setupTelemetry installs the ambient collector and tracer the figures'
+// operators and engines pick up, and returns a cleanup that flushes the
+// event log and writes the Chrome trace file.
+func setupTelemetry(metricsAddr, eventsFile, traceOut string, traceEvery int, seed uint64) (cleanup func() error, err error) {
 	cleanup = func() error { return nil }
-	if metricsAddr == "" && eventsFile == "" {
+	if metricsAddr == "" && eventsFile == "" && traceOut == "" {
 		return cleanup, nil
 	}
 	var col *telemetry.Collector
+	closeEvents := func() error { return nil }
 	if eventsFile != "" {
 		f, err := os.Create(eventsFile)
 		if err != nil {
@@ -71,14 +79,14 @@ func setupTelemetry(metricsAddr, eventsFile string) (cleanup func() error, err e
 		}
 		out := bufio.NewWriter(f)
 		col = telemetry.NewWithEvents(out)
-		cleanup = func() error {
+		closeEvents = func() error {
 			if err := col.Close(); err != nil {
 				f.Close()
 				return err
 			}
 			return f.Close()
 		}
-	} else {
+	} else if metricsAddr != "" {
 		col = telemetry.New()
 	}
 	if metricsAddr != "" {
@@ -86,9 +94,44 @@ func setupTelemetry(metricsAddr, eventsFile string) (cleanup func() error, err e
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "experiments: telemetry at http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "experiments: telemetry at http://%s/metrics, introspection at /debug/{plan,state,pprof}\n", addr)
 	}
-	telemetry.SetDefault(col)
+	writeTrace := func() error { return nil }
+	if traceOut != "" {
+		tr := tracing.New(tracing.Config{Every: traceEvery, Seed: seed})
+		tr.SetCollector(col)
+		tracing.SetDefault(tr)
+		writeTrace = func() error {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			w := bufio.NewWriter(f)
+			if err := tr.WriteChromeTrace(w); err != nil {
+				f.Close()
+				return fmt.Errorf("writing trace: %w", err)
+			}
+			if err := w.Flush(); err != nil {
+				f.Close()
+				return fmt.Errorf("writing trace: %w", err)
+			}
+			sum := tr.Summary()
+			fmt.Fprintf(os.Stderr, "experiments: %d traces (%d spans) written to %s\n", sum.Started, sum.Spans, traceOut)
+			return f.Close()
+		}
+	}
+	if col != nil {
+		telemetry.SetDefault(col)
+	}
+	cleanup = func() error {
+		// The event log mirrors trace spans; flush it after the trace file
+		// is written so both exports are complete.
+		traceErr := writeTrace()
+		if err := closeEvents(); err != nil {
+			return err
+		}
+		return traceErr
+	}
 	return cleanup, nil
 }
 

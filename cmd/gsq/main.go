@@ -5,62 +5,94 @@
 //
 //	gsq -query 'SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/10 as tb, srcIP' -feed steady -duration 5
 //	gsq -queryfile q.gsql -feed bursty -seed 7
-//	gsq -queryfile q.gsql -trace capture.sopt
+//	gsq -queryfile q.gsql -replay capture.sopt
 //	gsq -queryfile q.gsql -metrics :9090 -events run.jsonl -stats
+//	gsq -queryfile q.gsql -trace out.json -trace-every 1000 -pprof
 //
 // Feeds: bursty (research-center tap), steady (data-center tap), ddos,
-// flows, or a binary trace recorded with tracegen via -trace.
+// flows, or a binary trace recorded with tracegen via -replay.
 //
 // The query runs as a low-level node of the two-level engine, draining a
 // ring buffer (-ring sets its capacity). -stats prints node counters plus
-// ring occupancy and drops; -metrics serves live Prometheus telemetry
-// (per-window sample size, subset-sum threshold trajectory, cleaning
-// phases, ...) and keeps serving after the feed drains until interrupted;
-// -events streams window-flush, cleaning and state-handoff events as
-// JSONL. See docs/OBSERVABILITY.md.
+// ring occupancy and drops; -metrics serves live Prometheus telemetry and
+// the /debug introspection surface (/debug/plan, /debug/state,
+// /debug/pprof) and keeps serving after the feed drains until interrupted
+// (SIGINT or SIGTERM, shut down gracefully); -pprof serves the same
+// surface on an ephemeral port when -metrics is unset; -events streams
+// window-flush, cleaning, state-handoff and trace events as JSONL;
+// -trace writes deterministic 1-in-N provenance traces (-trace-every) as
+// Chrome trace-event JSON, loadable in Perfetto. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"streamop/internal/core"
 	"streamop/internal/engine"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
+	"streamop/internal/tracing"
 	"streamop/internal/tuple"
 )
 
+// config carries every gsq flag; run takes it whole so tests can exercise
+// arbitrary flag combinations without a positional-parameter pileup.
+type config struct {
+	Query      string  // -query
+	QueryFile  string  // -queryfile
+	Feed       string  // -feed
+	Replay     string  // -replay: binary capture input (overrides -feed)
+	Duration   float64 // -duration
+	Seed       uint64  // -seed
+	Limit      int     // -limit
+	Ring       int     // -ring
+	Stats      bool    // -stats
+	Explain    bool    // -explain
+	Metrics    string  // -metrics
+	Events     string  // -events
+	TraceOut   string  // -trace: Chrome trace-event JSON output
+	TraceEvery int     // -trace-every
+	Pprof      bool    // -pprof
+}
+
 func main() {
-	query := flag.String("query", "", "query text")
-	queryFile := flag.String("queryfile", "", "file containing the query")
-	feedKind := flag.String("feed", "steady", "synthetic feed: bursty|steady|ddos|flows")
-	traceFile := flag.String("trace", "", "binary trace file (overrides -feed)")
-	duration := flag.Float64("duration", 5, "simulated feed duration in seconds")
-	seed := flag.Uint64("seed", 1, "random seed")
-	limit := flag.Int("limit", 0, "print at most this many rows (0 = all)")
-	stats := flag.Bool("stats", false, "print node statistics and ring occupancy/drops to stderr")
-	explain := flag.Bool("explain", false, "print the compiled plan and exit")
-	ringSize := flag.Int("ring", 4096, "ring-buffer capacity feeding the query node")
-	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry on this address (e.g. :9090); keeps serving until interrupted")
-	eventsFile := flag.String("events", "", "stream JSONL telemetry events (window_flush, cleaning, state_handoff) to this file")
+	var cfg config
+	flag.StringVar(&cfg.Query, "query", "", "query text")
+	flag.StringVar(&cfg.QueryFile, "queryfile", "", "file containing the query")
+	flag.StringVar(&cfg.Feed, "feed", "steady", "synthetic feed: bursty|steady|ddos|flows")
+	flag.StringVar(&cfg.Replay, "replay", "", "replay a binary trace file recorded with tracegen (overrides -feed)")
+	flag.Float64Var(&cfg.Duration, "duration", 5, "simulated feed duration in seconds")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.Limit, "limit", 0, "print at most this many rows (0 = all); suppressed rows are still counted")
+	flag.BoolVar(&cfg.Stats, "stats", false, "print node statistics and ring occupancy/drops to stderr")
+	flag.BoolVar(&cfg.Explain, "explain", false, "print the compiled plan and exit")
+	flag.IntVar(&cfg.Ring, "ring", 4096, "ring-buffer capacity feeding the query node")
+	flag.StringVar(&cfg.Metrics, "metrics", "", "serve Prometheus telemetry and /debug introspection on this address (e.g. :9090); keeps serving until SIGINT/SIGTERM")
+	flag.StringVar(&cfg.Events, "events", "", "stream JSONL telemetry events (window_flush, cleaning, state_handoff, trace_span, ...) to this file")
+	flag.StringVar(&cfg.TraceOut, "trace", "", "write provenance traces as Chrome trace-event JSON to this file (load in Perfetto)")
+	flag.IntVar(&cfg.TraceEvery, "trace-every", 1000, "with -trace: trace one in this many source packets (deterministic per -seed)")
+	flag.BoolVar(&cfg.Pprof, "pprof", false, "serve /debug/pprof and the introspection surface (on -metrics, or an ephemeral port when -metrics is unset)")
 	flag.Parse()
 
-	if err := run(*query, *queryFile, *feedKind, *traceFile, *duration, *seed,
-		*limit, *ringSize, *stats, *explain, *metricsAddr, *eventsFile); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gsq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(query, queryFile, feedKind, traceFile string, duration float64, seed uint64,
-	limit, ringSize int, stats, explain bool, metricsAddr, eventsFile string) error {
-	if queryFile != "" {
-		b, err := os.ReadFile(queryFile)
+func run(cfg config) error {
+	query := cfg.Query
+	if cfg.QueryFile != "" {
+		b, err := os.ReadFile(cfg.QueryFile)
 		if err != nil {
 			return err
 		}
@@ -70,25 +102,35 @@ func run(query, queryFile, feedKind, traceFile string, duration float64, seed ui
 		return fmt.Errorf("no query given (use -query or -queryfile)")
 	}
 
-	q, err := core.Compile(query, core.Options{Seed: seed})
+	q, err := core.Compile(query, core.Options{Seed: cfg.Seed})
 	if err != nil {
 		return err
 	}
-	if explain {
+	if cfg.Explain {
 		fmt.Print(q.Plan().Describe())
 		return nil
 	}
 
-	feed, err := openFeed(feedKind, traceFile, duration, seed)
+	feed, err := openFeed(cfg.Feed, cfg.Replay, cfg.Duration, cfg.Seed)
 	if err != nil {
 		return err
 	}
 
-	// Telemetry is opt-in: without -metrics or -events the engine runs an
-	// uninstrumented (nil-collector) query.
+	// A SIGINT or SIGTERM anywhere in the run cancels ctx: the post-drain
+	// serving phase below exits promptly even if the signal landed while
+	// the feed was still draining.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Telemetry is opt-in: without -metrics, -events or -pprof the engine
+	// runs an uninstrumented (nil-collector) query.
+	metricsAddr := cfg.Metrics
+	if cfg.Pprof && metricsAddr == "" {
+		metricsAddr = "127.0.0.1:0"
+	}
 	var col *telemetry.Collector
-	if eventsFile != "" {
-		f, err := os.Create(eventsFile)
+	if cfg.Events != "" {
+		f, err := os.Create(cfg.Events)
 		if err != nil {
 			return err
 		}
@@ -98,29 +140,37 @@ func run(query, queryFile, feedKind, traceFile string, duration float64, seed ui
 	} else if metricsAddr != "" {
 		col = telemetry.New()
 	}
+	var srv *http.Server
 	if metricsAddr != "" {
-		srv, addr, err := col.Serve(metricsAddr)
+		s, addr, err := col.Serve(metricsAddr)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics\n", addr)
+		srv = s
+		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics, introspection at /debug/{plan,state,pprof}\n", addr)
 	}
 
-	e, err := engine.New(ringSize)
+	e, err := engine.New(cfg.Ring)
 	if err != nil {
 		return err
 	}
 	if col != nil {
 		e.SetCollector(col)
 	}
+	var tr *tracing.Tracer
+	if cfg.TraceOut != "" {
+		tr = tracing.New(tracing.Config{Every: cfg.TraceEvery, Seed: cfg.Seed})
+		tr.SetCollector(col)
+		e.SetTracer(tr)
+	}
 	node, err := e.AddLowLevel("query", q.Plan())
 	if err != nil {
 		return err
 	}
-	printed := 0
+	var printed, suppressed int64
 	node.Subscribe(func(row tuple.Tuple) error {
-		if limit > 0 && printed >= limit {
+		if cfg.Limit > 0 && printed >= int64(cfg.Limit) {
+			suppressed++
 			return nil
 		}
 		printed++
@@ -135,27 +185,65 @@ func run(query, queryFile, feedKind, traceFile string, duration float64, seed ui
 	if err := col.Close(); err != nil {
 		return fmt.Errorf("flushing events: %w", err)
 	}
+	if tr != nil {
+		if err := writeTrace(cfg.TraceOut, tr); err != nil {
+			return err
+		}
+	}
 
-	if stats {
+	if cfg.Stats {
 		s := node.Stats().Operator
 		fmt.Fprintf(os.Stderr, "tuples in=%d accepted=%d out=%d groups=%d evicted=%d cleanings=%d windows=%d\n",
 			s.TuplesIn, s.TuplesAccepted, s.TuplesOut, s.GroupsCreated, s.GroupsEvicted, s.Cleanings, s.Windows)
 		fmt.Fprintf(os.Stderr, "ring cap=%d peak=%d drops=%d\n",
 			e.RingCap(), e.RingPeak(), e.Drops())
+		if cfg.Limit > 0 {
+			fmt.Fprintf(os.Stderr, "rows printed=%d suppressed=%d (total %d)\n",
+				printed, suppressed, printed+suppressed)
+		}
+		if tr != nil {
+			sum := tr.Summary()
+			fmt.Fprintf(os.Stderr, "traces started=%d finished=%d spans=%d dispositions=%v\n",
+				sum.Started, sum.Finished, sum.Spans, sum.Dispositions)
+		}
 	}
 
-	if metricsAddr != "" {
-		fmt.Fprintln(os.Stderr, "gsq: feed drained; still serving telemetry, interrupt (Ctrl-C) to exit")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+	if srv != nil {
+		if cfg.Metrics != "" || cfg.Pprof {
+			fmt.Fprintln(os.Stderr, "gsq: feed drained; still serving telemetry, SIGINT/SIGTERM to exit")
+			<-ctx.Done()
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutting down telemetry server: %w", err)
+		}
 	}
 	return nil
 }
 
-func openFeed(kind, traceFile string, duration float64, seed uint64) (trace.Feed, error) {
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
+// writeTrace renders the tracer's buffered spans as Chrome trace-event
+// JSON at path.
+func writeTrace(path string, tr *tracing.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := tr.WriteChromeTrace(w); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
+}
+
+func openFeed(kind, replayFile string, duration float64, seed uint64) (trace.Feed, error) {
+	if replayFile != "" {
+		f, err := os.Open(replayFile)
 		if err != nil {
 			return nil, err
 		}

@@ -23,20 +23,26 @@ func TestOpenFeedKinds(t *testing.T) {
 		t.Error("unknown feed accepted")
 	}
 	if _, err := openFeed("steady", "/does/not/exist.sopt", 1, 1); err == nil {
-		t.Error("missing trace file accepted")
+		t.Error("missing replay file accepted")
 	}
 }
 
 func TestRunQueryOverFeed(t *testing.T) {
-	err := run("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
-		"", "steady", "", 0.5, 1, 3, 4096, true, false, "", "")
+	err := run(config{
+		Query:    "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:     "steady",
+		Duration: 0.5, Seed: 1, Limit: 3, Ring: 4096, Stats: true,
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunExplain(t *testing.T) {
-	err := run("SELECT uts FROM PKT WHERE len > 0", "", "steady", "", 0.1, 1, 0, 4096, false, true, "", "")
+	err := run(config{
+		Query: "SELECT uts FROM PKT WHERE len > 0",
+		Feed:  "steady", Duration: 0.1, Seed: 1, Ring: 4096, Explain: true,
+	})
 	if err != nil {
 		t.Fatalf("run -explain: %v", err)
 	}
@@ -48,22 +54,22 @@ func TestRunQueryFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("SELECT uts FROM PKT WHERE len >= 1500"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "steady", "", 0.1, 1, 2, 4096, false, false, "", ""); err != nil {
+	if err := run(config{QueryFile: path, Feed: "steady", Duration: 0.1, Seed: 1, Limit: 2, Ring: 4096}); err != nil {
 		t.Fatalf("run -queryfile: %v", err)
 	}
-	if err := run("", filepath.Join(dir, "missing.gsql"), "steady", "", 0.1, 1, 0, 4096, false, false, "", ""); err == nil {
+	if err := run(config{QueryFile: filepath.Join(dir, "missing.gsql"), Feed: "steady", Duration: 0.1, Seed: 1, Ring: 4096}); err == nil {
 		t.Error("missing query file accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "steady", "", 1, 1, 0, 4096, false, false, "", ""); err == nil {
+	if err := run(config{Feed: "steady", Duration: 1, Seed: 1, Ring: 4096}); err == nil {
 		t.Error("empty query accepted")
 	}
-	if err := run("not a query", "", "steady", "", 1, 1, 0, 4096, false, false, "", ""); err == nil {
+	if err := run(config{Query: "not a query", Feed: "steady", Duration: 1, Seed: 1, Ring: 4096}); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run("SELECT uts FROM PKT", "", "steady", "", 0.1, 1, 0, 4096, false, false, "", "/no/such/dir/ev.jsonl"); err == nil {
+	if err := run(config{Query: "SELECT uts FROM PKT", Feed: "steady", Duration: 0.1, Seed: 1, Ring: 4096, Events: "/no/such/dir/ev.jsonl"}); err == nil {
 		t.Error("unwritable events file accepted")
 	}
 }
@@ -72,8 +78,10 @@ func TestRunErrors(t *testing.T) {
 // parseable JSONL file with at least one window_flush event.
 func TestRunEventsFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ev.jsonl")
-	err := run("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
-		"", "steady", "", 2, 1, 0, 4096, false, false, "", path)
+	err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 2, Seed: 1, Ring: 4096, Events: path,
+	})
 	if err != nil {
 		t.Fatalf("run -events: %v", err)
 	}
@@ -95,5 +103,66 @@ func TestRunEventsFile(t *testing.T) {
 	}
 	if flushes == 0 {
 		t.Error("no window_flush events recorded")
+	}
+}
+
+// TestRunTraceFile exercises -trace end to end: the run must leave a
+// Chrome trace-event JSON array with dispositions, and -events must carry
+// the mirrored trace_span / trace_done stream.
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	eventsPath := filepath.Join(dir, "ev.jsonl")
+	err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 1, Seed: 1, Ring: 4096, Stats: true,
+		Events: eventsPath, TraceOut: tracePath, TraceEvery: 100,
+	})
+	if err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v", err)
+	}
+	dispositions := 0
+	for _, ev := range events {
+		if ev["ph"] == "" || ev["pid"] == nil || ev["tid"] == nil {
+			t.Fatalf("malformed trace event: %v", ev)
+		}
+		if ev["name"] == "disposition" {
+			dispositions++
+		}
+	}
+	if dispositions == 0 {
+		t.Error("no dispositions in trace output")
+	}
+
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, dones := 0, 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		switch ev["event"] {
+		case "trace_span":
+			spans++
+		case "trace_done":
+			dones++
+		}
+	}
+	if spans == 0 || dones == 0 {
+		t.Errorf("event log missing trace stream: %d trace_span, %d trace_done", spans, dones)
 	}
 }

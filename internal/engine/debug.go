@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"streamop/internal/operator"
+	"streamop/internal/telemetry"
+)
+
+// /debug data sources. The engine registers two sources on its collector
+// — "plan" (static per-node plan descriptions, reusing gsql's -explain
+// machinery) and "state" (live occupancy) — which telemetry's Handler
+// serves at /debug/plan and /debug/state.
+//
+// The source functions run on the HTTP goroutine while Run executes, so
+// they read only data that is immutable after construction (names, plans,
+// schemas, topology) or published through atomics: the source ring's
+// counters, the engine's ring peak, each operator's boundary-consistent
+// DebugState snapshot, and the tracer's mutex-guarded summary. Node busy
+// times and tuple counters are deliberately absent — they are plain
+// fields owned by the run loop (scrape /metrics for their synced gauges).
+
+// NodePlan is one node's entry in the /debug/plan payload.
+type NodePlan struct {
+	Name        string   `json:"name"`
+	Level       string   `json:"level"` // low | low_partial | high
+	Output      string   `json:"output_schema"`
+	Subscribers []string `json:"subscribers,omitempty"`
+	Plan        string   `json:"plan"` // gsql -explain rendering
+}
+
+// RingDebug is the source ring's live counters in /debug/state.
+type RingDebug struct {
+	Cap    int    `json:"cap"`
+	Len    int    `json:"len"`
+	Pushed uint64 `json:"pushed"`
+	Popped uint64 `json:"popped"`
+	Drops  uint64 `json:"drops"`
+	Peak   int    `json:"peak"`
+}
+
+// NodeDebug is one node's entry in /debug/state.
+type NodeDebug struct {
+	Name  string               `json:"name"`
+	State *operator.DebugState `json:"state"` // nil for partial-agg nodes
+}
+
+// registerDebug installs the engine's /debug data sources on c.
+func (e *Engine) registerDebug(c *telemetry.Collector) {
+	c.SetDebugSource("plan", "engine", func() any { return e.debugPlan() })
+	c.SetDebugSource("state", "engine", func() any { return e.debugState() })
+}
+
+func (e *Engine) debugPlan() []NodePlan {
+	var out []NodePlan
+	add := func(n *Node, level string) {
+		np := NodePlan{
+			Name:   n.name,
+			Level:  level,
+			Output: n.schema.Name(),
+			Plan:   n.plan.Describe(),
+		}
+		for _, sub := range n.subs {
+			np.Subscribers = append(np.Subscribers, sub.name)
+		}
+		out = append(out, np)
+	}
+	for _, n := range e.low {
+		add(n, "low")
+	}
+	for _, n := range e.lowPartial {
+		add(&n.Node, "low_partial")
+	}
+	for _, n := range e.high {
+		add(n, "high")
+	}
+	return out
+}
+
+func (e *Engine) debugState() map[string]any {
+	nodes := make([]NodeDebug, 0, len(e.low)+len(e.lowPartial)+len(e.high))
+	for _, n := range e.Nodes() {
+		nd := NodeDebug{Name: n.name}
+		if n.op != nil {
+			nd.State = n.op.DebugSnapshot()
+		}
+		nodes = append(nodes, nd)
+	}
+	st := map[string]any{
+		"ring": RingDebug{
+			Cap:    e.ring.Cap(),
+			Len:    e.ring.Len(),
+			Pushed: e.ring.Pushed(),
+			Popped: e.ring.Popped(),
+			Drops:  e.ring.Drops(),
+			Peak:   e.RingPeak(),
+		},
+		"nodes": nodes,
+	}
+	if e.tr != nil {
+		st["trace"] = e.tr.Summary()
+	}
+	return st
+}

@@ -22,6 +22,7 @@ import (
 	"streamop/internal/ringbuf"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
+	"streamop/internal/tracing"
 	"streamop/internal/tuple"
 )
 
@@ -56,6 +57,13 @@ type Node struct {
 	low           bool
 	// nm holds this node's telemetry gauges; nil when uninstrumented.
 	nm *nodeMetrics
+	// Provenance tracing (see tracing.go). tr is nil when tracing is off;
+	// trEnq/trDeq count this node's queued input rows so traces can ride on
+	// FIFO position instead of tuple metadata.
+	tr     *tracing.Tracer
+	trEnq  uint64
+	trDeq  uint64
+	trPend []nodeTrace
 }
 
 // Schema returns the node's output stream schema.
@@ -86,13 +94,32 @@ func (n *Node) Stats() NodeStats {
 // numbers measure.
 func (n *Node) emit(row tuple.Tuple) error {
 	n.out++
+	var tts []*tracing.TupleTrace
+	if n.tr != nil {
+		tts = n.tr.TakeEmitting()
+	}
 	if n.parallelChans != nil {
 		for _, sub := range n.subs {
 			n.parallelChans[sub] <- row.Clone()
 		}
 	} else {
-		for _, sub := range n.subs {
+		for si, sub := range n.subs {
 			sub.queue = append(sub.queue, row.Clone())
+			if n.tr != nil {
+				// A traced row follows its first subscriber only, keyed by
+				// FIFO position in the subscriber's enqueue order.
+				if si == 0 && len(tts) > 0 {
+					sub.enqueueTrace(n.name, tts)
+				}
+				sub.trEnq++
+			}
+		}
+	}
+	if len(tts) > 0 && (len(n.subs) == 0 || n.parallelChans != nil) {
+		// Application boundary: the traced tuple's group reached the DAG's
+		// edge — the one successful terminal disposition.
+		for _, tt := range tts {
+			tt.Finish("emitted")
 		}
 	}
 	for _, app := range n.apps {
@@ -121,6 +148,9 @@ type Engine struct {
 	tel      *telemetry.Collector
 	sm       *sourceMetrics
 	ringPeak atomic.Int64
+
+	// Provenance tracer (see tracing.go); nil when tracing is off.
+	tr *tracing.Tracer
 }
 
 // New returns an engine with a ring buffer of the given capacity
@@ -133,6 +163,9 @@ func New(ringSize int) (*Engine, error) {
 	e := &Engine{ring: ring, names: map[string]bool{}}
 	if c := telemetry.Default(); c.Enabled() {
 		e.SetCollector(c)
+	}
+	if tr := tracing.Default(); tr != nil {
+		e.SetTracer(tr)
 	}
 	return e, nil
 }
@@ -172,6 +205,9 @@ func (e *Engine) AddLowLevel(name string, plan *gsql.Plan) (*Node, error) {
 	if e.tel != nil {
 		e.instrumentNode(n)
 	}
+	if e.tr != nil {
+		n.attachTracer(e.tr)
+	}
 	e.low = append(e.low, n)
 	return n, nil
 }
@@ -198,6 +234,9 @@ func (e *Engine) AddHighLevel(name string, parent *Node, plan *gsql.Plan) (*Node
 	}
 	if e.tel != nil {
 		e.instrumentNode(n)
+	}
+	if e.tr != nil {
+		n.attachTracer(e.tr)
 	}
 	parent.subs = append(parent.subs, n)
 	e.high = append(e.high, n)
@@ -227,28 +266,34 @@ func (e *Engine) Run(feed trace.Feed) error {
 			}
 			e.lastTS = p.Time
 			e.packets++
-			e.ring.Push(p)
+			// NextSeq is an inlinable field read, so the untraced 999 in
+			// 1000 packets skip the tracer's offer machinery entirely.
+			if e.tr != nil && uint64(e.packets-1) == e.tr.NextSeq() {
+				e.pushTraced(p)
+			} else {
+				e.ring.Push(p)
+			}
 		}
 		e.noteRingPeak()
 		e.syncSourceRing()
 		// Low-level consumers drain the ring in batches.
 		for {
+			base := e.ring.Popped()
 			n := e.ring.PopBatch(pkts)
 			if n == 0 {
 				break
 			}
+			// Traced packets follow the first low-level node through the
+			// DAG (one terminal disposition per trace).
+			var matches []tracing.SourceMatch
+			if e.tr != nil && len(e.low) > 0 {
+				matches = e.tr.TakeSource(base, n)
+			}
 			for _, low := range e.low {
-				start := time.Now()
-				for i := 0; i < n; i++ {
-					pkts[i].AppendTuple(scratch)
-					low.tuplesIn++
-					if err := low.op.Process(scratch); err != nil {
-						low.busy += time.Since(start)
-						return fmt.Errorf("engine: node %q: %w", low.name, err)
-					}
+				if err := e.processLowBatch(low, pkts, n, scratch, matches); err != nil {
+					return err
 				}
-				low.busy += time.Since(start)
-				low.syncTelemetry(0)
+				matches = nil
 			}
 			if err := e.runPartialBatch(pkts, n, scratch); err != nil {
 				return err
@@ -288,6 +333,9 @@ func (e *Engine) Run(feed trace.Feed) error {
 		n.syncTelemetry(0)
 	}
 	e.syncSourceRing()
+	// Safety net: any trace still in flight (e.g. queued behind a node with
+	// no low-level consumer) terminates rather than leaking open.
+	e.tr.FinishOpen("stream_end")
 	return nil
 }
 
@@ -306,10 +354,16 @@ func (e *Engine) drainHigh() error {
 		start := time.Now()
 		for _, row := range q {
 			h.tuplesIn++
+			if h.tr != nil {
+				h.tr.SetCurrent(h.takeRowTraces())
+			}
 			if err := h.op.Process(row); err != nil {
 				h.busy += time.Since(start)
 				return fmt.Errorf("engine: node %q: %w", h.name, err)
 			}
+		}
+		if h.tr != nil {
+			h.tr.ClearCurrent()
 		}
 		h.busy += time.Since(start)
 		h.syncTelemetry(len(h.queue))

@@ -78,6 +78,9 @@ func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) 
 	if e.tel != nil {
 		e.instrumentNode(&n.Node)
 	}
+	if e.tr != nil {
+		n.attachTracer(e.tr)
+	}
 	e.lowPartial = append(e.lowPartial, n)
 	return n, nil
 }

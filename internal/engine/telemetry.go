@@ -53,6 +53,7 @@ func (e *Engine) SetCollector(c *telemetry.Collector) {
 	for _, n := range e.Nodes() {
 		e.instrumentNode(n)
 	}
+	e.registerDebug(c)
 }
 
 // Collector returns the engine's collector (nil when uninstrumented).

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"streamop/internal/trace"
+	"streamop/internal/tracing"
+	"streamop/internal/tuple"
+)
+
+// Provenance tracing for the single-threaded Run path. The engine owns the
+// stages the operator cannot see: the source ring (enqueue, dequeue-wait,
+// drops), the handoff of emitted rows into high-level input queues, and
+// the application boundary where a trace terminates as "emitted".
+//
+// Traced tuples are identified purely by FIFO position — the ring's
+// push/pop counters for source packets, per-node enqueue/dequeue counters
+// for high-level queues — so no metadata rides on tuples and the untraced
+// hot path is unchanged apart from nil checks. A traced row emitted to
+// several subscribers follows the FIRST subscriber only (one terminal
+// disposition per trace); RunParallel ignores tracing entirely.
+
+// SetTracer attaches tr to the engine and to every node registered so far
+// and afterwards. A nil tracer detaches.
+func (e *Engine) SetTracer(tr *tracing.Tracer) {
+	e.tr = tr
+	for _, n := range e.Nodes() {
+		n.attachTracer(tr)
+	}
+}
+
+// Tracer returns the engine's tracer, nil when tracing is off.
+func (e *Engine) Tracer() *tracing.Tracer { return e.tr }
+
+func (n *Node) attachTracer(tr *tracing.Tracer) {
+	n.tr = tr
+	if n.op == nil {
+		return
+	}
+	if tr == nil {
+		n.op.SetTracer(nil, "")
+	} else {
+		n.op.SetTracer(tr, n.name)
+	}
+}
+
+// pushTraced is Run's producer step when a tracer is attached: offer the
+// packet's sequence number to the sampling schedule and account the ring
+// outcome for a selected packet.
+func (e *Engine) pushTraced(p trace.Packet) {
+	tt := e.tr.SourceOffer(uint64(e.packets - 1))
+	if tt == nil {
+		e.ring.Push(p)
+		return
+	}
+	idx := e.ring.Pushed()
+	if e.ring.Push(p) {
+		e.tr.SourceEnqueued(tt, idx, e.ring.Len())
+	} else {
+		e.tr.SourceDropped(tt, e.ring.Len())
+	}
+}
+
+// processLowBatch feeds one popped batch through a low-level node. matches
+// (non-nil only for the node that carries tracing — the first low-level
+// node) holds the traced packets of this batch in FIFO order. The batch is
+// processed as tight untraced segments between matches, with the tracer's
+// current context set only around each traced packet's Process call, so a
+// match costs nothing on the hundreds of untraced packets sharing its
+// batch.
+func (e *Engine) processLowBatch(low *Node, pkts []trace.Packet, n int, scratch tuple.Tuple, matches []tracing.SourceMatch) error {
+	start := time.Now()
+	i := 0
+	for mi := 0; mi <= len(matches); mi++ {
+		end := n
+		if mi < len(matches) {
+			end = matches[mi].Idx
+		}
+		for ; i < end; i++ {
+			pkts[i].AppendTuple(scratch)
+			low.tuplesIn++
+			if err := low.op.Process(scratch); err != nil {
+				low.busy += time.Since(start)
+				return fmt.Errorf("engine: node %q: %w", low.name, err)
+			}
+		}
+		if mi < len(matches) && i < n {
+			e.tr.SetCurrentOne(matches[mi].TT)
+			pkts[i].AppendTuple(scratch)
+			low.tuplesIn++
+			err := low.op.Process(scratch)
+			e.tr.ClearCurrent()
+			if err != nil {
+				low.busy += time.Since(start)
+				return fmt.Errorf("engine: node %q: %w", low.name, err)
+			}
+			i++
+		}
+	}
+	low.busy += time.Since(start)
+	low.syncTelemetry(0)
+	return nil
+}
+
+// nodeTrace pairs the traces riding on one queued input row with the
+// row's position in the node's enqueue order.
+type nodeTrace struct {
+	idx  uint64 // value of trEnq when the row was appended
+	from string // emitting node, for the transfer span
+	tts  []*tracing.TupleTrace
+}
+
+// enqueueTrace records tts as riding on the row about to be appended to
+// n's input queue (the caller increments trEnq after).
+func (n *Node) enqueueTrace(from string, tts []*tracing.TupleTrace) {
+	for _, tt := range tts {
+		tt.TransferEnqueued()
+	}
+	n.trPend = append(n.trPend, nodeTrace{idx: n.trEnq, from: from, tts: tts})
+}
+
+// takeRowTraces returns the traces riding on the next dequeued row (nil
+// for an untraced row), recording each one's transfer span.
+func (n *Node) takeRowTraces() []*tracing.TupleTrace {
+	idx := n.trDeq
+	n.trDeq++
+	if len(n.trPend) == 0 || n.trPend[0].idx != idx {
+		return nil
+	}
+	m := n.trPend[0]
+	n.trPend = n.trPend[1:]
+	for _, tt := range m.tts {
+		tt.TransferDequeued(m.from, n.name)
+	}
+	return m.tts
+}

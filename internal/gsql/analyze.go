@@ -21,6 +21,12 @@ type Ctx struct {
 	Aggs      []agg.Agg
 	Supers    []agg.Super
 	States    []any
+	// Trace, when non-nil, observes every stateful-function invocation
+	// evaluated under this context (function name, its state family, the
+	// result, the error if any). The operator sets it only while
+	// processing a provenance-traced tuple; the cost when unset is one
+	// nil check per stateful call.
+	Trace func(fn, state string, v value.Value, err error)
 }
 
 // Compiled is an executable expression.
@@ -670,6 +676,7 @@ func (b *binder) compileFunc(e *Call, ctx exprCtx) (Compiled, error) {
 	}
 	stateIdx := idx
 	fname := fn.Name
+	stateName := fn.State
 	scratch := make([]value.Value, len(args))
 	return func(c *Ctx) (value.Value, error) {
 		if err := evalArgsInto(args, c, scratch); err != nil {
@@ -678,7 +685,11 @@ func (b *binder) compileFunc(e *Call, ctx exprCtx) (Compiled, error) {
 		if stateIdx >= len(c.States) {
 			return value.Value{}, fmt.Errorf("gsql: state context missing for %s", fname)
 		}
-		return fn.Call(c.States[stateIdx], scratch)
+		v, err := fn.Call(c.States[stateIdx], scratch)
+		if c.Trace != nil {
+			c.Trace(fname, stateName, v, err)
+		}
+		return v, err
 	}, nil
 }
 

@@ -1,0 +1,117 @@
+package operator
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"streamop/internal/sfun"
+)
+
+// Boundary-consistent /debug/state snapshots. The operator's tables are
+// owned by the processing goroutine, so a live HTTP handler can never walk
+// them directly; instead the operator publishes an immutable DebugState
+// through an atomic pointer at the points where the tables are already
+// being visited — window flushes and cleaning phases — and only while a
+// debug handler is actually serving (telemetry.Collector.DebugActive).
+// Readers get the state as of the most recent boundary, which is the
+// strongest consistency the single-threaded engine can offer without
+// stalling the stream.
+
+// debugTopK bounds the per-snapshot top-groups list.
+const debugTopK = 10
+
+// DebugGroup is one group in a DebugState's top-K list, ranked by its
+// first aggregate's numeric value.
+type DebugGroup struct {
+	Key  string            `json:"key"`
+	Rank float64           `json:"rank"`
+	Aggs map[string]string `json:"aggs,omitempty"`
+}
+
+// DebugState is a boundary-consistent snapshot of the operator's tables.
+type DebugState struct {
+	At          string             `json:"at"` // boundary kind: attach, cleaning, window_flush
+	Window      int64              `json:"window"`
+	Groups      int                `json:"groups"`
+	Supergroups int                `json:"supergroups"`
+	Stats       Stats              `json:"stats"`
+	SfunGauges  map[string]float64 `json:"sfun_gauges,omitempty"`
+	TopGroups   []DebugGroup       `json:"top_groups,omitempty"`
+}
+
+type debugPublisher struct {
+	ptr atomic.Pointer[DebugState]
+}
+
+// DebugSnapshot returns the most recently published boundary snapshot,
+// nil when none has been published. Safe from any goroutine.
+func (o *Operator) DebugSnapshot() *DebugState {
+	return o.debug.ptr.Load()
+}
+
+// publishDebug builds and publishes a snapshot at a table-visit boundary.
+// Callers gate on o.tel.DebugActive() (except the initial publish at
+// collector attach, which guarantees DebugSnapshot is never nil for an
+// instrumented operator).
+func (o *Operator) publishDebug(at string) {
+	st := &DebugState{
+		At:          at,
+		Window:      o.windowIdx,
+		Supergroups: len(o.sgList),
+		Stats:       o.stats,
+	}
+
+	// SFUN gauges of every observable state on the first supergroup
+	// (insertion order), mirroring recordWindow's exemplar choice.
+	if len(o.sgList) > 0 {
+		sg := o.sgList[0]
+		for i, sd := range o.plan.States {
+			obs, ok := sg.states[i].(sfun.Observable)
+			if !ok {
+				continue
+			}
+			state := sd.Type.Name
+			obs.Gauges(func(gauge string, v float64) {
+				if st.SfunGauges == nil {
+					st.SfunGauges = make(map[string]float64)
+				}
+				st.SfunGauges[state+"."+gauge] = v
+			})
+		}
+	}
+
+	// Occupancy and top-K groups by first-aggregate value across all
+	// supergroups of the open window. Groups are ranked by pointer first;
+	// only the K winners pay for key/aggregate rendering.
+	type ranked struct {
+		g    *group
+		rank float64
+	}
+	var all []ranked
+	for _, sg := range o.sgList {
+		st.Groups += len(sg.groups)
+		for _, g := range sg.groups {
+			var rank float64
+			if len(g.aggs) > 0 {
+				rank = g.aggs[0].Value().AsFloat()
+			}
+			all = append(all, ranked{g, rank})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].rank > all[j].rank })
+	if len(all) > debugTopK {
+		all = all[:debugTopK]
+	}
+	for _, r := range all {
+		dg := DebugGroup{Key: r.g.key.String(), Rank: r.rank}
+		if len(r.g.aggs) > 0 {
+			dg.Aggs = make(map[string]string, len(r.g.aggs))
+			for j := range r.g.aggs {
+				dg.Aggs[o.plan.Aggs[j].Display] = r.g.aggs[j].Value().String()
+			}
+		}
+		st.TopGroups = append(st.TopGroups, dg)
+	}
+
+	o.debug.ptr.Store(st)
+}

@@ -25,6 +25,7 @@ import (
 	"streamop/internal/agg"
 	"streamop/internal/gsql"
 	"streamop/internal/telemetry"
+	"streamop/internal/tracing"
 	"streamop/internal/tuple"
 	"streamop/internal/value"
 )
@@ -50,6 +51,11 @@ type group struct {
 	// contribs accumulates, per superaggregate, this group's contribution
 	// for OnGroupRemove (policy per SuperDef.Spec.Contribution).
 	contribs []value.Value
+	// traces carries the provenance traces of sampled tuples absorbed into
+	// this group, so eviction/HAVING/emission can terminate them (see
+	// tracing.go). Nil unless a tracer is attached and sampled this group's
+	// tuples.
+	traces []*tracing.TupleTrace
 }
 
 type supergroup struct {
@@ -91,6 +97,15 @@ type Operator struct {
 	om        *opMetrics
 	windowIdx int64 // windows flushed so far; x-coordinate of the series
 	winBase   Stats // counters as of the previous window flush
+
+	// Provenance tracing (see tracing.go). tr is nil unless the engine
+	// attached a tracer; the per-tuple path then pays one nil check.
+	tr     *tracing.Tracer
+	trName string
+
+	// Boundary-consistent debug snapshot (see debug.go), published at
+	// window flushes and cleaning phases when /debug/state is being served.
+	debug debugPublisher
 }
 
 // New creates an operator for plan, sending output rows to emit.
@@ -140,16 +155,30 @@ func (o *Operator) Process(t tuple.Tuple) error {
 
 func (o *Operator) processSelection(t tuple.Tuple) error {
 	o.ctx = gsql.Ctx{Tuple: t, States: o.selStates}
+	tts := o.curTraces()
+	if tts != nil {
+		o.ctx.Trace = o.sfunHook(tts)
+	}
 	if o.plan.Where != nil {
 		v, err := o.plan.Where(&o.ctx)
 		if err != nil {
 			return err
 		}
-		if !v.Truth() {
+		pass := v.Truth()
+		for _, tt := range tts {
+			tt.Where(o.trName, pass)
+		}
+		if !pass {
 			return nil
 		}
 	}
 	o.stats.TuplesAccepted++
+	if tts != nil {
+		for _, tt := range tts {
+			tt.Emit(o.trName, o.windowIdx)
+		}
+		o.tr.SetEmitting(tts)
+	}
 	return o.output(&o.ctx)
 }
 
@@ -182,13 +211,22 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 	o.ctx.States = sg.states
 	o.ctx.Supers = sg.supers
 
+	tts := o.curTraces()
+	if tts != nil {
+		o.ctx.Trace = o.sfunHook(tts)
+	}
+
 	// 4. WHERE: the loose admission predicate, possibly stateful.
 	if o.plan.Where != nil {
 		v, err := o.plan.Where(&o.ctx)
 		if err != nil {
 			return fmt.Errorf("operator: WHERE: %w", err)
 		}
-		if !v.Truth() {
+		pass := v.Truth()
+		for _, tt := range tts {
+			tt.Where(o.trName, pass)
+		}
+		if !pass {
 			return nil
 		}
 	}
@@ -211,6 +249,13 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 
 	// 6. Group lookup / creation and aggregate update.
 	g, created := o.findOrCreateGroup(sg)
+	if tts != nil {
+		key := g.key.String()
+		for _, tt := range tts {
+			tt.GroupLookup(o.trName, key, created)
+		}
+		g.traces = append(g.traces, tts...)
+	}
 	if created {
 		for i := range sg.supers {
 			sg.supers[i].OnGroupAdd(o.argVals[i])
@@ -427,6 +472,9 @@ func (o *Operator) evictGroup(sg *supergroup, g *group) {
 		}
 		sg.supers[i].OnGroupRemove(contrib)
 	}
+	if o.tr != nil && len(g.traces) > 0 {
+		o.traceEviction(sg, g)
+	}
 	o.stats.GroupsEvicted++
 }
 
@@ -451,14 +499,24 @@ func (o *Operator) flushWindow() error {
 		for _, g := range sg.groups {
 			o.ctx.GroupVals = g.vals
 			o.ctx.Aggs = g.aggs
+			traced := o.tr != nil && len(g.traces) > 0
+			if traced {
+				o.ctx.Trace = o.sfunHook(g.traces)
+			}
+			havingPass := true
 			if o.plan.Having != nil {
 				v, err := o.plan.Having(&o.ctx)
 				if err != nil {
 					return fmt.Errorf("operator: HAVING: %w", err)
 				}
-				if !v.Truth() {
-					continue
-				}
+				havingPass = v.Truth()
+			}
+			if traced {
+				o.traceHavingEmit(g, havingPass, o.plan.Having != nil)
+				o.ctx.Trace = nil
+			}
+			if !havingPass {
+				continue
 			}
 			if err := o.output(&o.ctx); err != nil {
 				return err

@@ -66,6 +66,9 @@ func (o *Operator) SetCollector(c *telemetry.Collector, name string) {
 	}
 	o.om.synced = Stats{}
 	o.syncCounters()
+	// Publish an initial snapshot so /debug/state never reads nil for an
+	// instrumented operator, even before the first boundary.
+	o.publishDebug("attach")
 }
 
 // syncCounters pushes the operator's plain counters into the registry as
@@ -95,6 +98,10 @@ func (o *Operator) recordWindow(base Stats) {
 	groups := (o.stats.GroupsCreated - base.GroupsCreated) - (o.stats.GroupsEvicted - base.GroupsEvicted)
 	cleanings := o.stats.Cleanings - base.Cleanings
 	evicted := o.stats.GroupsEvicted - base.GroupsEvicted
+
+	if o.tel.DebugActive() {
+		o.publishDebug("window_flush")
+	}
 
 	m := o.om
 	m.winSample.Append(idx, float64(sample))
@@ -154,6 +161,9 @@ func (o *Operator) recordCleaning(sg *supergroup, seconds float64, evicted, kept
 	o.om.cleanDur.Observe(seconds)
 	o.om.cleanEvict.Observe(float64(evicted))
 	o.syncCounters()
+	if o.tel.DebugActive() {
+		o.publishDebug("cleaning")
+	}
 	if o.tel.EventsEnabled() {
 		o.tel.Emit("cleaning", map[string]any{
 			"node":        o.telName,

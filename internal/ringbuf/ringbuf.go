@@ -107,3 +107,12 @@ func (r *Ring[T]) PopBatch(dst []T) int {
 
 // Drops returns the number of records rejected because the ring was full.
 func (r *Ring[T]) Drops() uint64 { return r.drops.Load() }
+
+// Pushed returns the total number of successful pushes: the ring position
+// the next accepted record will occupy. Provenance tracing keys traced
+// records by this FIFO position.
+func (r *Ring[T]) Pushed() uint64 { return r.tail.Load() }
+
+// Popped returns the total number of records consumed: the FIFO position
+// of the next record Pop or PopBatch will return.
+func (r *Ring[T]) Popped() uint64 { return r.head.Load() }

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Debug-data registry backing the Collector's /debug introspection surface
+// (see http.go). Instrumented components — the engine, its operators —
+// register named data sources under a kind ("plan", "state"); the HTTP
+// handler renders every source of a kind as one JSON object keyed by
+// source name.
+//
+// Snapshot publication is pull-gated: DebugActive reports whether a
+// Handler has been built, so components can skip building boundary
+// snapshots entirely when nothing will ever serve them. This keeps the
+// /debug surface out of the telemetry overhead budget (the overhead-guard
+// benchmark never builds a handler).
+
+type debugSources struct {
+	mu   sync.Mutex
+	byKind map[string]map[string]func() any
+}
+
+// debugState lazily allocates the collector's debug registry.
+func (c *Collector) debugState() *debugSources {
+	c.debugMu.Lock()
+	defer c.debugMu.Unlock()
+	if c.debug == nil {
+		c.debug = &debugSources{byKind: make(map[string]map[string]func() any)}
+	}
+	return c.debug
+}
+
+// SetDebugSource registers fn as the debug data source name of the given
+// kind ("plan", "state", ...). fn must be safe to call from the HTTP
+// serving goroutine while the instrumented component runs; it should
+// return immutable data (atomics, published snapshots). Re-registering a
+// name replaces it. No-op on a disabled collector.
+func (c *Collector) SetDebugSource(kind, name string, fn func() any) {
+	if c == nil || fn == nil {
+		return
+	}
+	ds := c.debugState()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	m := ds.byKind[kind]
+	if m == nil {
+		m = make(map[string]func() any)
+		ds.byKind[kind] = m
+	}
+	m[name] = fn
+}
+
+// DebugActive reports whether a debug/introspection handler has been
+// built for this collector — the signal for instrumented code to publish
+// boundary snapshots.
+func (c *Collector) DebugActive() bool {
+	return c != nil && c.debugOn.Load()
+}
+
+// setDebugActive is flipped by Handler().
+func (c *Collector) setDebugActive() {
+	if c != nil {
+		c.debugOn.Store(true)
+	}
+}
+
+// DebugData calls every source of the given kind and returns the results
+// keyed by source name (key ordering in JSON output is the encoder's).
+func (c *Collector) DebugData(kind string) map[string]any {
+	if c == nil {
+		return nil
+	}
+	c.debugMu.Lock()
+	ds := c.debug
+	c.debugMu.Unlock()
+	if ds == nil {
+		return map[string]any{}
+	}
+	ds.mu.Lock()
+	fns := make(map[string]func() any, len(ds.byKind[kind]))
+	for name, fn := range ds.byKind[kind] {
+		fns[name] = fn
+	}
+	ds.mu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// debugFields are embedded in Collector (kept here so telemetry.go stays
+// focused on the metric surface).
+type debugFields struct {
+	debugMu sync.Mutex
+	debug   *debugSources
+	debugOn atomic.Bool
+}

@@ -5,14 +5,24 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
-// Handler returns an HTTP handler exposing the collector:
+// Handler returns an HTTP handler exposing the collector's introspection
+// surface:
 //
-//	/metrics       Prometheus text format
-//	/metrics.json  the typed Snapshot as JSON
+//	/metrics        Prometheus text format
+//	/metrics.json   the typed Snapshot as JSON
+//	/debug/plan     per-node compiled plans (registered debug sources)
+//	/debug/state    boundary-consistent occupancy snapshots
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, ...)
+//
+// Building the handler flips DebugActive, which tells instrumented
+// components to start publishing /debug/state snapshots at their window
+// and cleaning boundaries.
 func (c *Collector) Handler() http.Handler {
+	c.setDebugActive()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -22,12 +32,27 @@ func (c *Collector) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(c.Snapshot())
 	})
+	debugJSON := func(kind string) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(c.DebugData(kind))
+		}
+	}
+	mux.HandleFunc("/debug/plan", debugJSON("plan"))
+	mux.HandleFunc("/debug/state", debugJSON("state"))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "streamop telemetry: /metrics (Prometheus text), /metrics.json (typed snapshot)")
+		fmt.Fprintln(w, "streamop telemetry: /metrics (Prometheus text), /metrics.json (typed snapshot), /debug/plan, /debug/state, /debug/pprof/")
 	})
 	return mux
 }

@@ -34,6 +34,7 @@ import (
 type Collector struct {
 	reg *Registry
 	ev  *EventLog
+	debugFields
 }
 
 // New returns an enabled collector with a fresh registry and no event log.

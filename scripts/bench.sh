@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh — run the core benchmark suite and record the results as JSON.
+#
+# Usage: scripts/bench.sh [benchtime]
+#
+#   benchtime   value for -benchtime (default 1x: one iteration of every
+#               benchmark — the figure harnesses report their paper
+#               metrics on a single pass, and the overhead guards
+#               self-extend to 5 measurement pairs)
+#
+# Writes BENCH_core.json in the repo root: a JSON array with one object
+# per benchmark, carrying ns/op plus every custom metric the benchmark
+# reports (relative errors, CPU fractions, overhead percentages, ...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1x}"
+out="BENCH_core.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench=. -benchtime="$benchtime" ./... | tee "$raw"
+
+# Benchmark result lines look like:
+#   BenchmarkName-8   3   123456 ns/op   1.23 metric-a   4.56 metric-b
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s", name, $2
+    for (i = 3; i + 1 <= NF; i += 2)
+        printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
