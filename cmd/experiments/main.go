@@ -12,6 +12,7 @@
 //	experiments -fig sizes   # N in {100, 1000, 10000} (§7.1 text)
 //	experiments -fig ddos    # sampled-flows under DDoS (§8 example)
 //	experiments -fig overhead|relax|hhpush|cascade   # ablations
+//	experiments -fig shard   # sharded partial-agg throughput sweep
 //	experiments -fig all
 //
 // -quick shrinks every run for smoke testing; -seed controls all
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,relax,hhpush,cascade,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,relax,hhpush,cascade,shard,all")
 	seed := flag.Uint64("seed", 42, "random seed for feeds and algorithms")
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke test")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry and /debug introspection on this address while figures run")
@@ -162,8 +163,10 @@ func run(fig string, seed uint64, quick bool) error {
 		return cascadeFig(seed, quick)
 	case "relax":
 		return relaxFig(seed, quick)
+	case "shard":
+		return shardFig(seed, quick)
 	case "all":
-		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "relax", "hhpush", "cascade"} {
+		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "relax", "hhpush", "cascade", "shard"} {
 			fmt.Printf("\n================ -fig %s ================\n", f)
 			if err := run(f, seed, quick); err != nil {
 				return err
@@ -307,6 +310,27 @@ func overheadFig(seed uint64, quick bool) error {
 	fmt.Printf("hand-coded ns/packet:  %.0f\n", res.DirectNSPerPacket)
 	fmt.Printf("overhead factor:       %.1fx\n", res.Factor)
 	fmt.Printf("estimate agreement:    %.3f rel. difference\n", res.EstimateDelta)
+	return nil
+}
+
+func shardFig(seed uint64, quick bool) error {
+	dur := 5.0
+	if quick {
+		dur = 1
+	}
+	res, err := experiments.Shard(seed, dur, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Sharded partial aggregation — throughput vs shard count (unpaced RunParallel)")
+	fmt.Printf("packets: %d, final groups: %d, GOMAXPROCS: %d, sequential Run: %.1f ms\n",
+		res.Packets, res.Groups, res.GOMAXPROCS, res.RunWallMS)
+	fmt.Printf("%-8s %10s %14s %10s %10s %8s\n", "shards", "wall ms", "pkts/sec", "speedup", "evictions", "exact")
+	for _, p := range res.Points {
+		fmt.Printf("%-8d %10.1f %14.0f %9.2fx %10d %8v\n",
+			p.Shards, p.WallMS, p.PktsPerSec, p.Speedup, p.Evictions, p.Exact)
+	}
+	fmt.Println("exact = final aggregates, row count and eviction total match the single-threaded Run")
 	return nil
 }
 

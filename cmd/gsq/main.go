@@ -8,12 +8,21 @@
 //	gsq -queryfile q.gsql -replay capture.sopt
 //	gsq -queryfile q.gsql -metrics :9090 -events run.jsonl -stats
 //	gsq -queryfile q.gsql -trace out.json -trace-every 1000 -pprof
+//	gsq -query 'SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/1 as tb, srcIP' -partial 4096 -parallel -shards 4
 //
 // Feeds: bursty (research-center tap), steady (data-center tap), ddos,
 // flows, or a binary trace recorded with tracegen via -replay.
 //
 // The query runs as a low-level node of the two-level engine, draining a
-// ring buffer (-ring sets its capacity). -stats prints node counters plus
+// ring buffer (-ring sets its capacity). -partial N runs it as a
+// low-level partial-aggregation node with an N-slot direct-mapped group
+// table instead of a full sampling operator (the query must then be plain
+// grouping/aggregation). -parallel switches from the single-threaded Run
+// to the concurrent RunParallel; -speedup paces the replay (0 = unpaced
+// backpressure), and -shards overrides the partial node's worker fan-out
+// (default: the query's SHARDS clause, then GOMAXPROCS-derived). See
+// docs/PARALLELISM.md for the run-mode semantics.
+// -stats prints node counters plus
 // ring occupancy and drops; -metrics serves live Prometheus telemetry and
 // the /debug introspection surface (/debug/plan, /debug/state,
 // /debug/pprof) and keeps serving after the feed drains until interrupted
@@ -62,6 +71,10 @@ type config struct {
 	TraceOut   string  // -trace: Chrome trace-event JSON output
 	TraceEvery int     // -trace-every
 	Pprof      bool    // -pprof
+	Partial    int     // -partial: run as a partial-agg node with this many slots
+	Parallel   bool    // -parallel: RunParallel instead of Run
+	Speedup    float64 // -speedup: pacing factor under -parallel (0 = unpaced)
+	Shards     int     // -shards: shard-count override for the partial node
 }
 
 func main() {
@@ -81,6 +94,10 @@ func main() {
 	flag.StringVar(&cfg.TraceOut, "trace", "", "write provenance traces as Chrome trace-event JSON to this file (load in Perfetto)")
 	flag.IntVar(&cfg.TraceEvery, "trace-every", 1000, "with -trace: trace one in this many source packets (deterministic per -seed)")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "serve /debug/pprof and the introspection surface (on -metrics, or an ephemeral port when -metrics is unset)")
+	flag.IntVar(&cfg.Partial, "partial", 0, "run the query as a low-level partial-aggregation node with this many group-table slots (0 = full operator)")
+	flag.BoolVar(&cfg.Parallel, "parallel", false, "run with real concurrency (RunParallel); with -partial the node is sharded")
+	flag.Float64Var(&cfg.Speedup, "speedup", 0, "with -parallel: pace the replay at this multiple of capture time (0 = unpaced backpressure, no drops)")
+	flag.IntVar(&cfg.Shards, "shards", 0, "with -partial -parallel: worker replicas for the partial node (0 = query SHARDS clause, then GOMAXPROCS-derived)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -163,9 +180,25 @@ func run(cfg config) error {
 		tr.SetCollector(col)
 		e.SetTracer(tr)
 	}
-	node, err := e.AddLowLevel("query", q.Plan())
-	if err != nil {
-		return err
+	var node *engine.Node
+	var pn *engine.PartialNode
+	if cfg.Partial > 0 {
+		pn, err = e.AddLowLevelPartialAgg("query", q.Plan(), cfg.Partial)
+		if err != nil {
+			return err
+		}
+		if cfg.Shards > 0 {
+			pn.SetShards(cfg.Shards)
+		}
+		node = pn.Base()
+	} else {
+		if cfg.Shards > 0 {
+			return fmt.Errorf("-shards only applies to a partial-aggregation node (add -partial)")
+		}
+		node, err = e.AddLowLevel("query", q.Plan())
+		if err != nil {
+			return err
+		}
 	}
 	var printed, suppressed int64
 	node.Subscribe(func(row tuple.Tuple) error {
@@ -179,7 +212,15 @@ func run(cfg config) error {
 	})
 
 	fmt.Println(strings.Join(q.Columns(), ","))
-	if err := e.Run(feed); err != nil {
+	if cfg.Parallel {
+		if tr != nil {
+			fmt.Fprintln(os.Stderr, "gsq: note: provenance tracing is ignored under -parallel (see docs/PARALLELISM.md)")
+		}
+		err = e.RunParallel(feed, cfg.Speedup)
+	} else {
+		err = e.Run(feed)
+	}
+	if err != nil {
 		return err
 	}
 	if err := col.Close(); err != nil {
@@ -192,9 +233,19 @@ func run(cfg config) error {
 	}
 
 	if cfg.Stats {
-		s := node.Stats().Operator
-		fmt.Fprintf(os.Stderr, "tuples in=%d accepted=%d out=%d groups=%d evicted=%d cleanings=%d windows=%d\n",
-			s.TuplesIn, s.TuplesAccepted, s.TuplesOut, s.GroupsCreated, s.GroupsEvicted, s.Cleanings, s.Windows)
+		if pn != nil {
+			st := node.Stats()
+			shards := 1
+			if cfg.Parallel {
+				shards = pn.Shards()
+			}
+			fmt.Fprintf(os.Stderr, "tuples in=%d out=%d evictions=%d shards=%d busy=%s\n",
+				st.TuplesIn, st.TuplesOut, pn.Evictions(), shards, st.Busy)
+		} else {
+			s := node.Stats().Operator
+			fmt.Fprintf(os.Stderr, "tuples in=%d accepted=%d out=%d groups=%d evicted=%d cleanings=%d windows=%d\n",
+				s.TuplesIn, s.TuplesAccepted, s.TuplesOut, s.GroupsCreated, s.GroupsEvicted, s.Cleanings, s.Windows)
+		}
 		fmt.Fprintf(os.Stderr, "ring cap=%d peak=%d drops=%d\n",
 			e.RingCap(), e.RingPeak(), e.Drops())
 		if cfg.Limit > 0 {

@@ -14,8 +14,10 @@ import (
 // RunParallel runs the node tree with real concurrency, the way Gigascope
 // deploys it: the packet producer, every low-level node and every
 // high-level node each run on their own goroutine, connected by bounded
-// buffers. Each low-level node drains a private SPSC ring fed by the
-// producer.
+// buffers. Each low-level selection node drains a private SPSC ring fed
+// by the producer; each low-level partial-aggregation node fans out into
+// shard replicas with private rings and private group-table stripes (see
+// shard.go), routed by group-key hash so no shard shares state.
 //
 // speedup > 0 paces the producer by packet timestamps accelerated by that
 // factor (speedup 100 replays a 10-second capture in 100 ms). Under
@@ -23,21 +25,26 @@ import (
 // up with the offered rate overflows its ring and packets are DROPPED and
 // counted — exactly the line-rate failure mode the paper's low-level
 // queries exist to avoid. speedup <= 0 disables pacing; the producer then
-// applies backpressure (retries a full ring) so nothing drops.
+// applies backpressure (waits for ring space) so nothing drops, and
+// enforces window barriers on sharded nodes so their output is
+// window-monotone and final aggregates match Run exactly (the property
+// shard_test.go checks).
 //
-// Output ordering within one node is preserved; interleaving across nodes
-// is nondeterministic. Busy-time accounting still works per node, but
-// utilization comparisons are cleanest under Run, which is single-threaded
-// and deterministic.
+// Output ordering within one node is preserved for selection nodes; a
+// sharded partial node preserves window order (unpaced) but interleaves
+// rows within a window across shards. Interleaving across nodes is
+// nondeterministic. Busy-time accounting still works per node — a
+// sharded node's busy time is the summed CPU time of its replicas — but
+// utilization comparisons are cleanest under Run, which is
+// single-threaded and deterministic. Provenance tracing is ignored under
+// RunParallel (see tracing.go).
 func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
-	if len(e.low) == 0 {
+	if len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
-	if len(e.lowPartial) > 0 {
-		return fmt.Errorf("engine: RunParallel does not support partial-aggregation nodes yet")
-	}
 
-	// Private ring per low-level node, same capacity as the source ring.
+	// Private ring per low-level selection node, same capacity as the
+	// source ring.
 	rings := make([]*ringbuf.Ring[trace.Packet], len(e.low))
 	for i := range rings {
 		r, err := ringbuf.New[trace.Packet](e.ring.Cap())
@@ -51,8 +58,23 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 	for _, h := range e.high {
 		chans[h] = make(chan tuple.Tuple, 4096)
 	}
+	// Sharded runtime per partial-aggregation node; unpaced runs get the
+	// exactness barrier, paced runs trade it for zero producer stalls.
+	sets := make([]*shardSet, len(e.lowPartial))
+	for i, pn := range e.lowPartial {
+		s, err := e.newShardSet(pn, chans, speedup <= 0)
+		if err != nil {
+			return err
+		}
+		sets[i] = s
+		pn.rt.Store(s)
+	}
 
-	errs := make(chan error, 1+len(e.low)+len(e.high))
+	nWorkers := len(e.low) + len(e.high)
+	for _, s := range sets {
+		nWorkers += len(s.workers)
+	}
+	errs := make(chan error, 1+nWorkers)
 	reportErr := func(err error) {
 		select {
 		case errs <- err:
@@ -65,10 +87,27 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 	go func() {
 		defer close(producerDone)
 		startWall := time.Now()
+		scratch := make(tuple.Tuple, trace.NumFields)
+		// Batched transfer into the selection rings (unpaced mode): one
+		// tail publication per slice instead of per packet.
+		lowBatch := make([]trace.Packet, 0, shardBatch)
+		flushLow := func() {
+			for _, r := range rings {
+				buf := lowBatch
+				for len(buf) > 0 {
+					n := r.PushBatch(buf)
+					buf = buf[n:]
+					if len(buf) > 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+			lowBatch = lowBatch[:0]
+		}
 		for {
 			p, ok := feed.Next()
 			if !ok {
-				return
+				break
 			}
 			if !e.sawPacket {
 				e.firstTS = p.Time
@@ -87,22 +126,33 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 					r.Push(p)
 				}
 			} else {
-				// Unpaced: backpressure instead of drops. Wait for room
-				// rather than retrying Push, which counts each failed
-				// attempt as a drop and would corrupt the drop telemetry.
-				for _, r := range rings {
-					for r.Len() >= r.Cap() {
-						runtime.Gosched()
-					}
-					r.Push(p)
+				lowBatch = append(lowBatch, p)
+				if len(lowBatch) == cap(lowBatch) {
+					flushLow()
 				}
 			}
+			if len(sets) > 0 {
+				p.AppendTuple(scratch)
+				for _, s := range sets {
+					if s.routeFailed {
+						continue
+					}
+					if err := s.route(p, scratch); err != nil {
+						reportErr(err)
+						s.routeFailed = true
+					}
+				}
+			}
+		}
+		flushLow()
+		for _, s := range sets {
+			s.flushAll()
 		}
 	}()
 
 	var wg sync.WaitGroup
 
-	// Low-level consumers.
+	// Low-level selection consumers.
 	for i, low := range e.low {
 		wg.Add(1)
 		go func(low *Node, ring *ringbuf.Ring[trace.Packet]) {
@@ -141,8 +191,20 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 		}(low, rings[i])
 	}
 
+	// Shard workers for partial-aggregation nodes.
+	for _, s := range sets {
+		for _, w := range s.workers {
+			wg.Add(1)
+			go func(w *shardWorker) {
+				defer wg.Done()
+				w.run(producerDone, reportErr)
+			}(w)
+		}
+	}
+
 	// High-level consumers (each node's channel is closed by its parent
-	// after the parent flushes).
+	// after the parent flushes — for a sharded parent, by its last
+	// finishing shard worker).
 	for _, h := range e.high {
 		wg.Add(1)
 		go func(h *Node) {
@@ -180,6 +242,9 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 	for i, low := range e.low {
 		low.syncTelemetry(0)
 		low.syncRing(rings[i])
+	}
+	for _, s := range sets {
+		s.collect()
 	}
 	for _, h := range e.high {
 		h.syncTelemetry(0)

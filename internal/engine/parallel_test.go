@@ -136,14 +136,75 @@ func TestRunParallelErrorPropagates(t *testing.T) {
 	}
 }
 
-func TestRunParallelRejectsPartialNodes(t *testing.T) {
+// TestRunParallelAcceptsPartialNodes: a partial-only topology (no
+// selection nodes, no high level) runs sharded under RunParallel and
+// still produces output. Exactness is shard_test.go's job; this is the
+// acceptance check for the formerly rejected shape.
+func TestRunParallelAcceptsPartialNodes(t *testing.T) {
 	e, _ := engine.New(1024)
 	plan := mustPlan(t, "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb", trace.Schema())
-	if _, err := e.AddLowLevelPartialAgg("p", plan, 16); err != nil {
+	pn, err := e.AddLowLevelPartialAgg("p", plan, 16)
+	if err != nil {
 		t.Fatal(err)
 	}
-	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 35, Duration: 0.1, Rate: 1000})
-	if err := e.RunParallel(feed, 0); err == nil {
-		t.Error("RunParallel accepted partial nodes")
+	var rows atomic.Int64
+	pn.Subscribe(func(tuple.Tuple) error {
+		rows.Add(1)
+		return nil
+	})
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 35, Duration: 0.5, Rate: 5000})
+	if err := e.RunParallel(feed, 0); err != nil {
+		t.Fatalf("RunParallel rejected partial nodes: %v", err)
+	}
+	if rows.Load() == 0 {
+		t.Error("sharded partial node emitted nothing")
+	}
+	if got := pn.Stats().TuplesIn; got != e.Packets() {
+		t.Errorf("shards folded %d of %d packets", got, e.Packets())
+	}
+}
+
+// TestRunParallelMixedTopology: selection and partial low-level nodes
+// side by side, each with a high-level consumer, under one parallel run.
+func TestRunParallelMixedTopology(t *testing.T) {
+	e, _ := engine.New(4096)
+	sel := mustPlan(t, "SELECT time, len, uts FROM PKT", trace.Schema())
+	selNode, err := e.AddLowLevel("sel", sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := mustPlan(t, "SELECT tb, count(*) FROM sel GROUP BY time/1 as tb", selNode.Schema())
+	cntNode, err := e.AddHighLevel("cnt", selNode, cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := mustPlan(t, "SELECT tb, srcIP, sum(len) AS bytes FROM PKT GROUP BY time/1 as tb, srcIP", trace.Schema())
+	pn, err := e.AddLowLevelPartialAgg("part", part, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := mustPlan(t, "SELECT tb2, srcIP, sum(bytes) FROM part GROUP BY tb/1 as tb2, srcIP", pn.Schema())
+	aggNode, err := e.AddHighLevel("agg", pn.Base(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counted, bytes atomic.Int64
+	cntNode.Subscribe(func(row tuple.Tuple) error {
+		counted.Add(row[1].AsInt())
+		return nil
+	})
+	aggNode.Subscribe(func(row tuple.Tuple) error {
+		bytes.Add(row[2].AsInt())
+		return nil
+	})
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 36, Duration: 1, Rate: 20000})
+	if err := e.RunParallel(feed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if counted.Load() != e.Packets() {
+		t.Errorf("selection side counted %d of %d packets", counted.Load(), e.Packets())
+	}
+	if bytes.Load() == 0 {
+		t.Error("partial side aggregated nothing")
 	}
 }

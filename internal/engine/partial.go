@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"streamop/internal/agg"
@@ -18,6 +19,15 @@ import (
 // bounded. The high-level query re-aggregates the partial rows; the
 // paper's §8 notes this is the right low-level support for the
 // Manku-Motwani heavy hitters algorithm.
+//
+// Under RunParallel the node fans out into shard replicas (see shard.go),
+// each owning a disjoint stripe of the slot space: global slot
+// s = hash & mask belongs to shard s % nshards and lives at local index
+// s / nshards in that shard's table. Because the producer routes each
+// packet to the shard owning its group's slot, the per-slot event sequence
+// (fold, collision eviction, window flush) is identical to the
+// single-table Run, which is what makes sharded aggregates and eviction
+// counts exactly match the sequential ones.
 
 // partialGroup is one slot of the direct-mapped table.
 type partialGroup struct {
@@ -26,23 +36,174 @@ type partialGroup struct {
 	aggs []agg.Agg
 }
 
+// ptable is one direct-mapped partial-aggregation table plus its window
+// state: the whole table for the single-threaded Run, or one shard's
+// stripe under RunParallel. Exactly one goroutine owns a ptable.
+type ptable struct {
+	name      string
+	slots     []partialGroup
+	mask      uint64 // global slot mask (slot = key hash & mask)
+	div       uint64 // stripe divisor: 1 for the full table, nshards for a stripe
+	plan      *gsql.Plan
+	ctx       gsql.Ctx
+	gbVals    []value.Value
+	window    []value.Value
+	winOpen   bool
+	evictions int64
+	residents int64
+	emit      func(tuple.Tuple) error
+}
+
+func newPtable(name string, plan *gsql.Plan, slots int, mask uint64, div uint64, emit func(tuple.Tuple) error) ptable {
+	return ptable{
+		name:   name,
+		slots:  make([]partialGroup, slots),
+		mask:   mask,
+		div:    div,
+		plan:   plan,
+		gbVals: make([]value.Value, len(plan.GroupBy)),
+		emit:   emit,
+	}
+}
+
+// process folds one packet tuple into the table.
+func (t *ptable) process(tp tuple.Tuple) error {
+	t.ctx = gsql.Ctx{Tuple: tp}
+	for i, gb := range t.plan.GroupBy {
+		v, err := gb(&t.ctx)
+		if err != nil {
+			return fmt.Errorf("partial-agg %q: group-by: %w", t.name, err)
+		}
+		t.gbVals[i] = v
+	}
+	t.ctx.GroupVals = t.gbVals
+
+	// Window boundary: flush every resident group.
+	if t.winOpen && t.orderedChanged() {
+		if err := t.flush(); err != nil {
+			return err
+		}
+	}
+	if !t.winOpen {
+		t.winOpen = true
+		t.window = t.window[:0]
+		for _, idx := range t.plan.OrderedIdx {
+			t.window = append(t.window, t.gbVals[idx])
+		}
+	}
+
+	key := tuple.MakeKey(t.gbVals)
+	idx := key.Hash() & t.mask
+	if t.div > 1 {
+		idx /= t.div
+	}
+	slot := &t.slots[idx]
+	if slot.used && !slot.key.Equal(key) {
+		// Collision: emit the resident partial row and take the slot.
+		if err := t.emitSlot(slot); err != nil {
+			return err
+		}
+		slot.used = false
+		t.residents--
+		t.evictions++
+	}
+	if !slot.used {
+		slot.used = true
+		slot.key = key
+		t.residents++
+		if slot.aggs == nil {
+			slot.aggs = make([]agg.Agg, len(t.plan.Aggs))
+		}
+		for i, def := range t.plan.Aggs {
+			slot.aggs[i] = def.New()
+		}
+	}
+	for i := range t.plan.Aggs {
+		def := &t.plan.Aggs[i]
+		var v value.Value
+		if def.Arg != nil {
+			var err error
+			if v, err = def.Arg(&t.ctx); err != nil {
+				return fmt.Errorf("partial-agg %q: %s: %w", t.name, def.Display, err)
+			}
+		}
+		slot.aggs[i].Update(v)
+	}
+	return nil
+}
+
+func (t *ptable) orderedChanged() bool {
+	for i, idx := range t.plan.OrderedIdx {
+		if !value.Equal(t.window[i], t.gbVals[idx]) {
+			return true
+		}
+	}
+	return false
+}
+
+// emitSlot evaluates the SELECT list for one resident group and emits it.
+func (t *ptable) emitSlot(slot *partialGroup) error {
+	ctx := gsql.Ctx{GroupVals: slot.key.Values(), Aggs: slot.aggs}
+	row := make(tuple.Tuple, len(t.plan.SelectExprs))
+	for i, sel := range t.plan.SelectExprs {
+		v, err := sel(&ctx)
+		if err != nil {
+			return fmt.Errorf("partial-agg %q: SELECT %s: %w", t.name, t.plan.SelectNames[i], err)
+		}
+		row[i] = v
+	}
+	return t.emit(row)
+}
+
+// flush emits every resident group and clears the table.
+func (t *ptable) flush() error {
+	for i := range t.slots {
+		if t.slots[i].used {
+			if err := t.emitSlot(&t.slots[i]); err != nil {
+				return err
+			}
+			t.slots[i].used = false
+			t.residents--
+		}
+	}
+	t.winOpen = false
+	return nil
+}
+
 // PartialNode is a low-level partial-aggregation query node.
 type PartialNode struct {
 	Node
-	slots    []partialGroup
-	mask     uint64
-	plan     *gsql.Plan
-	ctx      gsql.Ctx
-	gbVals   []value.Value
-	window   []value.Value
-	winOpen  bool
-	evictons int64
+	table ptable
+	// shards is the configured replica count for RunParallel; 0 means
+	// unresolved (plan hint, then DefaultShards).
+	shards int
+	// rt is the live sharded runtime, published for /debug/state while a
+	// RunParallel run is in flight (nil under Run or before the first
+	// parallel run).
+	rt shardRTRef
+}
+
+// DefaultShards returns the shard count a partial-aggregation node fans
+// out into under RunParallel when neither SetShards nor the plan's SHARDS
+// hint picked one: GOMAXPROCS minus one core reserved for the producer,
+// at least 1, at most 16 (fan-out beyond that only adds ring traffic on
+// the feeds this engine replays).
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
 }
 
 // AddLowLevelPartialAgg registers a low-level partial-aggregation node.
 // plan must be a grouping query over PKT without sampling clauses or
 // superaggregates (low-level nodes are deliberately simple). slots is
-// rounded up to a power of two.
+// rounded up to a power of two. A SHARDS hint on the plan seeds the
+// node's RunParallel shard count (see SetShards).
 func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) (*PartialNode, error) {
 	if plan.Schema.Name() != trace.Schema().Name() {
 		return nil, fmt.Errorf("engine: partial-agg node %q must read PKT, got %q", name, plan.Schema.Name())
@@ -70,11 +231,9 @@ func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) 
 	}
 	n := &PartialNode{
 		Node:   Node{name: name, plan: plan, schema: schema, low: true},
-		slots:  make([]partialGroup, size),
-		mask:   uint64(size - 1),
-		plan:   plan,
-		gbVals: make([]value.Value, len(plan.GroupBy)),
+		shards: plan.Shards,
 	}
+	n.table = newPtable(name, plan, size, uint64(size-1), 1, n.emit)
 	if e.tel != nil {
 		e.instrumentNode(&n.Node)
 	}
@@ -85,107 +244,40 @@ func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) 
 	return n, nil
 }
 
+// SetShards fixes the node's RunParallel fan-out. count < 1 restores the
+// default resolution (plan SHARDS hint, then DefaultShards). The resolved
+// count is additionally clamped to the slot-table size, since a shard
+// owning no slot stripe would never receive a packet.
+func (n *PartialNode) SetShards(count int) {
+	if count < 1 {
+		count = n.plan.Shards
+	}
+	n.shards = count
+}
+
+// Shards returns the shard count the node will fan out into under
+// RunParallel.
+func (n *PartialNode) Shards() int {
+	c := n.shards
+	if c < 1 {
+		c = DefaultShards()
+	}
+	if c > len(n.table.slots) {
+		c = len(n.table.slots)
+	}
+	return c
+}
+
 // Evictions returns the number of partial rows emitted due to slot
 // collisions (as opposed to window closes): the measure of how undersized
-// the table is for the workload.
-func (n *PartialNode) Evictions() int64 { return n.evictons }
+// the table is for the workload. After a sharded RunParallel this is the
+// sum across shard replicas.
+func (n *PartialNode) Evictions() int64 { return n.table.evictions }
 
-// process folds one packet tuple into the table.
+// process folds one packet tuple into the table (Run's single-table path).
 func (n *PartialNode) process(t tuple.Tuple) error {
 	n.tuplesIn++
-	n.ctx = gsql.Ctx{Tuple: t}
-	for i, gb := range n.plan.GroupBy {
-		v, err := gb(&n.ctx)
-		if err != nil {
-			return fmt.Errorf("partial-agg %q: group-by: %w", n.name, err)
-		}
-		n.gbVals[i] = v
-	}
-	n.ctx.GroupVals = n.gbVals
-
-	// Window boundary: flush every resident group.
-	if n.winOpen && n.orderedChanged() {
-		if err := n.flush(); err != nil {
-			return err
-		}
-	}
-	if !n.winOpen {
-		n.winOpen = true
-		n.window = n.window[:0]
-		for _, idx := range n.plan.OrderedIdx {
-			n.window = append(n.window, n.gbVals[idx])
-		}
-	}
-
-	key := tuple.MakeKey(n.gbVals)
-	slot := &n.slots[key.Hash()&n.mask]
-	if slot.used && !slot.key.Equal(key) {
-		// Collision: emit the resident partial row and take the slot.
-		if err := n.emitSlot(slot); err != nil {
-			return err
-		}
-		slot.used = false
-		n.evictons++
-	}
-	if !slot.used {
-		slot.used = true
-		slot.key = key
-		if slot.aggs == nil {
-			slot.aggs = make([]agg.Agg, len(n.plan.Aggs))
-		}
-		for i, def := range n.plan.Aggs {
-			slot.aggs[i] = def.New()
-		}
-	}
-	for i := range n.plan.Aggs {
-		def := &n.plan.Aggs[i]
-		var v value.Value
-		if def.Arg != nil {
-			var err error
-			if v, err = def.Arg(&n.ctx); err != nil {
-				return fmt.Errorf("partial-agg %q: %s: %w", n.name, def.Display, err)
-			}
-		}
-		slot.aggs[i].Update(v)
-	}
-	return nil
-}
-
-func (n *PartialNode) orderedChanged() bool {
-	for i, idx := range n.plan.OrderedIdx {
-		if !value.Equal(n.window[i], n.gbVals[idx]) {
-			return true
-		}
-	}
-	return false
-}
-
-// emitSlot evaluates the SELECT list for one resident group and emits it.
-func (n *PartialNode) emitSlot(slot *partialGroup) error {
-	ctx := gsql.Ctx{GroupVals: slot.key.Values(), Aggs: slot.aggs}
-	row := make(tuple.Tuple, len(n.plan.SelectExprs))
-	for i, sel := range n.plan.SelectExprs {
-		v, err := sel(&ctx)
-		if err != nil {
-			return fmt.Errorf("partial-agg %q: SELECT %s: %w", n.name, n.plan.SelectNames[i], err)
-		}
-		row[i] = v
-	}
-	return n.emit(row)
-}
-
-// flush emits every resident group and clears the table.
-func (n *PartialNode) flush() error {
-	for i := range n.slots {
-		if n.slots[i].used {
-			if err := n.emitSlot(&n.slots[i]); err != nil {
-				return err
-			}
-			n.slots[i].used = false
-		}
-	}
-	n.winOpen = false
-	return nil
+	return n.table.process(t)
 }
 
 // runPartialBatch feeds a batch of packets through every partial node,
@@ -209,7 +301,7 @@ func (e *Engine) runPartialBatch(pkts []trace.Packet, count int, scratch tuple.T
 func (e *Engine) flushPartial() error {
 	for _, n := range e.lowPartial {
 		start := time.Now()
-		err := n.flush()
+		err := n.table.flush()
 		n.busy += time.Since(start)
 		if err != nil {
 			return err

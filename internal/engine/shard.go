@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamop/internal/gsql"
+	"streamop/internal/ringbuf"
+	"streamop/internal/telemetry"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// Sharded parallel execution for low-level partial aggregation.
+//
+// Under RunParallel a PartialNode fans out into N worker replicas, each
+// with a private SPSC ring and a private stripe of the direct-mapped
+// group table. The producer evaluates the node's GROUP BY per packet and
+// routes the packet to the shard owning the group's global slot
+// (slot = hash & mask, owner = slot % N, local index = slot / N), so no
+// two shards ever touch the same group and no shard shares mutable state
+// with another. The high-level re-aggregation downstream merges the
+// partial rows exactly as it merges the single-table Run's rows.
+//
+// Exactness. Because routing is by slot, each shard observes, for every
+// slot it owns, the same packet subsequence the single table would have
+// observed — so each slot goes through the identical fold / collision
+// eviction / window flush sequence, and final aggregates and summed
+// eviction counts match Run bit for bit. The remaining hazard is window
+// interleaving at the high level: shard A could flush window W while
+// shard B already emits rows of W+1, which would trick the downstream
+// operator's ordered-group window detection into closing W early. In
+// unpaced mode (backpressure, no drops) the producer therefore enforces
+// a window barrier: at each boundary it drains every shard ring (waits
+// for folded == pushed), bumps a flush epoch, and waits for each worker
+// to flush its stripe and acknowledge before routing the first packet of
+// the new window. In paced mode packets drop under overload anyway, so
+// exactness is off the table; the barrier is skipped and each shard
+// detects boundaries on its own stripe, trading window discipline for
+// zero producer stalls.
+//
+// Compiled plans reuse scratch buffers (DESIGN.md §7), so the producer's
+// router and every worker each analyze their own Plan clone.
+
+// shardRTRef publishes a node's live sharded runtime for /debug/state
+// (see PartialNode.rt).
+type shardRTRef = atomic.Pointer[shardSet]
+
+// shardRingCap is each shard's private ring capacity.
+const shardRingCap = 4096
+
+// shardBatch is both the routing-buffer flush threshold (producer side)
+// and the PopBatch size (worker side).
+const shardBatch = 256
+
+// shardMetrics caches one shard's gauge handles (labels: node, shard).
+type shardMetrics struct {
+	in, busy, evictions  *telemetry.Gauge
+	ringOcc, ringDrops   *telemetry.Gauge
+}
+
+// shardWorker is one replica of a partial-aggregation node: a goroutine
+// draining a private ring into a private table stripe. Plain fields are
+// owned by the worker goroutine; the a-prefixed atomics mirror them at
+// batch boundaries for /debug/state.
+type shardWorker struct {
+	id    int
+	set   *shardSet
+	table ptable
+	ring  *ringbuf.Ring[trace.Packet]
+
+	// folded counts packets fully processed (or drained after a failure);
+	// the producer's window barrier waits for folded == ring.Pushed().
+	folded atomic.Uint64
+	// ackEpoch trails set.flushEpoch; the worker flushes its stripe and
+	// catches up whenever they differ.
+	ackEpoch atomic.Uint64
+	failed   bool
+
+	tuplesIn int64
+	out      int64
+	busy     time.Duration
+
+	// Live mirrors for /debug/state (see debug.go).
+	aTuplesIn  atomic.Int64
+	aOut       atomic.Int64
+	aEvictions atomic.Int64
+	aResidents atomic.Int64
+	aBusyNS    atomic.Int64
+
+	sm *shardMetrics
+}
+
+// emit sends one partial row downstream: a clone per subscriber channel,
+// plus the node's application callbacks (serialized across shards — apps
+// are user code and must not see concurrent calls).
+func (w *shardWorker) emit(row tuple.Tuple) error {
+	w.out++
+	s := w.set
+	for _, sub := range s.node.subs {
+		s.chans[sub] <- row.Clone()
+	}
+	if len(s.node.apps) > 0 {
+		s.appMu.Lock()
+		defer s.appMu.Unlock()
+		for _, app := range s.node.apps {
+			if err := app(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncDebug mirrors the worker's counters into its atomics and gauges.
+func (w *shardWorker) syncDebug() {
+	w.aTuplesIn.Store(w.tuplesIn)
+	w.aOut.Store(w.out)
+	w.aEvictions.Store(w.table.evictions)
+	w.aResidents.Store(w.table.residents)
+	w.aBusyNS.Store(int64(w.busy))
+	if m := w.sm; m != nil {
+		m.in.Set(float64(w.tuplesIn))
+		m.busy.Set(w.busy.Seconds())
+		m.evictions.Set(float64(w.table.evictions))
+		m.ringOcc.Set(float64(w.ring.Len()))
+		m.ringDrops.Set(float64(w.ring.Drops()))
+	}
+}
+
+// run is the worker goroutine body.
+func (w *shardWorker) run(producerDone <-chan struct{}, reportErr func(error)) {
+	s := w.set
+	batch := make([]trace.Packet, shardBatch)
+	scratch := make(tuple.Tuple, trace.NumFields)
+	for {
+		// Window barrier: the producer has drained our ring (it waited for
+		// folded == pushed before bumping the epoch), so every packet of
+		// the closing window is already folded — flush the stripe and ack.
+		if fe := s.flushEpoch.Load(); fe != w.ackEpoch.Load() {
+			if !w.failed {
+				start := time.Now()
+				err := w.table.flush()
+				w.busy += time.Since(start)
+				if err != nil {
+					w.fail(reportErr, err)
+				}
+			}
+			w.syncDebug()
+			w.ackEpoch.Store(fe)
+			continue
+		}
+		n := w.ring.PopBatch(batch)
+		if n == 0 {
+			select {
+			case <-producerDone:
+				if w.ring.Len() == 0 && s.flushEpoch.Load() == w.ackEpoch.Load() {
+					w.finish(reportErr)
+					return
+				}
+			default:
+				runtime.Gosched()
+			}
+			continue
+		}
+		if w.failed {
+			// Drain mode: keep the barrier and backpressure accounting
+			// moving without touching the (dead) table.
+			w.folded.Add(uint64(n))
+			continue
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			batch[i].AppendTuple(scratch)
+			w.tuplesIn++
+			if err := w.table.process(scratch); err != nil {
+				w.busy += time.Since(start)
+				w.fail(reportErr, err)
+				w.folded.Add(uint64(n))
+				break
+			}
+		}
+		if !w.failed {
+			w.busy += time.Since(start)
+			w.folded.Add(uint64(n))
+		}
+		w.syncDebug()
+	}
+}
+
+func (w *shardWorker) fail(reportErr func(error), err error) {
+	reportErr(fmt.Errorf("engine: node %q shard %d: %w", w.set.node.name, w.id, err))
+	w.failed = true
+}
+
+// finish flushes the residual stripe at end of stream; the last worker
+// out closes the node's subscriber channels.
+func (w *shardWorker) finish(reportErr func(error)) {
+	s := w.set
+	if !w.failed {
+		start := time.Now()
+		err := w.table.flush()
+		w.busy += time.Since(start)
+		if err != nil {
+			w.fail(reportErr, err)
+		}
+	}
+	w.syncDebug()
+	if s.remaining.Add(-1) == 0 {
+		for _, sub := range s.node.subs {
+			close(s.chans[sub])
+		}
+	}
+}
+
+// shardSet is the per-node sharded runtime: the producer-side router plus
+// the worker replicas. Router state (rctx, rgb, window) is touched only
+// by the producer goroutine.
+type shardSet struct {
+	node    *PartialNode
+	workers []*shardWorker
+	chans   map[*Node]chan tuple.Tuple
+	appMu   sync.Mutex
+
+	// Router: a private plan clone evaluating GROUP BY per packet.
+	router  *gsql.Plan
+	rctx    gsql.Ctx
+	rgb     []value.Value
+	window  []value.Value
+	winOpen bool
+	mask    uint64
+
+	// pend[i] buffers packets routed to shard i between ring pushes;
+	// batchN is the flush threshold (shardBatch unpaced, 1 paced — pacing
+	// simulates arrival times, so paced packets must not sit in buffers).
+	pend   [][]trace.Packet
+	batchN int
+
+	// barrier is true in unpaced mode: enforce window barriers (exactness)
+	// and backpressure instead of drops.
+	barrier bool
+
+	// routeFailed marks a set whose router hit an evaluation error; the
+	// producer stops routing to it (the error is already reported).
+	routeFailed bool
+
+	flushEpoch atomic.Uint64
+	remaining  atomic.Int32
+}
+
+// newShardSet builds the sharded runtime for one partial node.
+func (e *Engine) newShardSet(pn *PartialNode, chans map[*Node]chan tuple.Tuple, barrier bool) (*shardSet, error) {
+	n := pn.Shards()
+	router, err := pn.plan.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("engine: node %q: cloning router plan: %w", pn.name, err)
+	}
+	s := &shardSet{
+		node:    pn,
+		chans:   chans,
+		router:  router,
+		rgb:     make([]value.Value, len(router.GroupBy)),
+		mask:    pn.table.mask,
+		pend:    make([][]trace.Packet, n),
+		batchN:  1,
+		barrier: barrier,
+	}
+	if barrier {
+		s.batchN = shardBatch
+	}
+	size := len(pn.table.slots)
+	stripe := (size + n - 1) / n // upper bound on slots per shard
+	for i := 0; i < n; i++ {
+		wplan, err := pn.plan.Clone()
+		if err != nil {
+			return nil, fmt.Errorf("engine: node %q: cloning shard plan: %w", pn.name, err)
+		}
+		ring, err := ringbuf.New[trace.Packet](shardRingCap)
+		if err != nil {
+			return nil, err
+		}
+		w := &shardWorker{id: i, set: s, ring: ring}
+		w.table = newPtable(pn.name, wplan, stripe, s.mask, uint64(n), w.emit)
+		if e.tel != nil {
+			r := e.tel.Registry()
+			shard := strconv.Itoa(i)
+			w.sm = &shardMetrics{
+				in:        r.GaugeVec("streamop_shard_tuples_in", "packets routed to the shard replica", "node", "shard").With(pn.name, shard),
+				busy:      r.GaugeVec("streamop_shard_busy_seconds", "wall-clock time inside the shard's processing loop", "node", "shard").With(pn.name, shard),
+				evictions: r.GaugeVec("streamop_shard_evictions", "partial rows evicted by slot collisions in the shard's stripe", "node", "shard").With(pn.name, shard),
+				ringOcc:   r.GaugeVec("streamop_shard_ring_occupancy", "shard ring-buffer fill", "node", "shard").With(pn.name, shard),
+				ringDrops: r.GaugeVec("streamop_shard_ring_drops", "packets dropped at the shard's ring buffer", "node", "shard").With(pn.name, shard),
+			}
+		}
+		s.workers = append(s.workers, w)
+		s.pend[i] = make([]trace.Packet, 0, shardBatch)
+	}
+	s.remaining.Store(int32(n))
+	return s, nil
+}
+
+// route evaluates the node's GROUP BY on one packet and buffers it for
+// the owning shard, enforcing the window barrier at boundaries (unpaced
+// mode). The caller owns tp for the duration of the call only; packets
+// are buffered by value.
+func (s *shardSet) route(p trace.Packet, tp tuple.Tuple) error {
+	s.rctx = gsql.Ctx{Tuple: tp}
+	for i, gb := range s.router.GroupBy {
+		v, err := gb(&s.rctx)
+		if err != nil {
+			return fmt.Errorf("engine: node %q: routing group-by: %w", s.node.name, err)
+		}
+		s.rgb[i] = v
+	}
+	if s.barrier && len(s.router.OrderedIdx) > 0 {
+		if s.winOpen && s.routerChanged() {
+			s.windowBarrier()
+			s.winOpen = false
+		}
+		if !s.winOpen {
+			s.winOpen = true
+			s.window = s.window[:0]
+			for _, idx := range s.router.OrderedIdx {
+				s.window = append(s.window, s.rgb[idx])
+			}
+		}
+	}
+	slot := tuple.HashValues(s.rgb) & s.mask
+	shard := int(slot % uint64(len(s.workers)))
+	s.pend[shard] = append(s.pend[shard], p)
+	if len(s.pend[shard]) >= s.batchN {
+		s.flushPend(shard)
+	}
+	return nil
+}
+
+func (s *shardSet) routerChanged() bool {
+	for i, idx := range s.router.OrderedIdx {
+		if !value.Equal(s.window[i], s.rgb[idx]) {
+			return true
+		}
+	}
+	return false
+}
+
+// flushPend pushes shard i's buffered packets into its ring: backpressure
+// in barrier (unpaced) mode, drop-and-count otherwise.
+func (s *shardSet) flushPend(i int) {
+	buf := s.pend[i]
+	ring := s.workers[i].ring
+	if s.barrier {
+		for len(buf) > 0 {
+			n := ring.PushBatch(buf)
+			buf = buf[n:]
+			if len(buf) > 0 {
+				runtime.Gosched()
+			}
+		}
+	} else {
+		n := ring.PushBatch(buf)
+		if n < len(buf) {
+			ring.AddDrops(uint64(len(buf) - n))
+		}
+	}
+	s.pend[i] = s.pend[i][:0]
+}
+
+// flushAll drains every pending routing buffer.
+func (s *shardSet) flushAll() {
+	for i := range s.pend {
+		if len(s.pend[i]) > 0 {
+			s.flushPend(i)
+		}
+	}
+}
+
+// windowBarrier closes the current window across all shards: drain every
+// shard's ring, then direct every worker to flush its stripe and wait for
+// the acknowledgement. Afterwards the downstream channels hold every row
+// of the closing window and none of the next — the same window-monotone
+// order Run produces.
+func (s *shardSet) windowBarrier() {
+	s.flushAll()
+	for _, w := range s.workers {
+		for w.folded.Load() != w.ring.Pushed() {
+			runtime.Gosched()
+		}
+	}
+	epoch := s.flushEpoch.Add(1)
+	for _, w := range s.workers {
+		for w.ackEpoch.Load() != epoch {
+			runtime.Gosched()
+		}
+	}
+}
+
+// collect folds the workers' counters back into the node after the run,
+// so Stats, Utilization and Evictions report the same quantities they
+// report after Run: tuplesIn/out/evictions are sums (each packet and each
+// group lives on exactly one shard), and busy is the summed CPU time
+// across replicas — the node's total CPU cost, which is the quantity
+// utilization compares.
+func (s *shardSet) collect() {
+	n := s.node
+	for _, w := range s.workers {
+		n.tuplesIn += w.tuplesIn
+		n.out += w.out
+		n.busy += w.busy
+		n.table.evictions += w.table.evictions
+		n.table.residents += w.table.residents
+	}
+	n.syncTelemetry(0)
+}

@@ -96,6 +96,23 @@ type Plan struct {
 	Aggs   []AggDef
 	Supers []SuperDef
 	States []StateDef
+
+	// Shards carries the query's SHARDS clause (0 = unspecified): a hint
+	// for how many parallel workers a low-level partial-aggregation node
+	// should fan out into under RunParallel.
+	Shards int
+
+	// reg is the registry the plan was analyzed against, retained so
+	// Clone can recompile the same query for another executor.
+	reg *sfun.Registry
+}
+
+// Clone re-analyzes the plan's query against its original schema and
+// registry, returning an independent compiled plan. Compiled call sites
+// reuse argument scratch buffers, so one Plan must not be evaluated by two
+// goroutines; sharded parallel execution clones the plan per worker.
+func (p *Plan) Clone() (*Plan, error) {
+	return Analyze(p.Query, p.Schema, p.reg)
 }
 
 // OutputSchema returns the schema of the operator's output stream, named
@@ -143,7 +160,7 @@ func Analyze(q *Query, schema *tuple.Schema, reg *sfun.Registry) (*Plan, error) 
 		return nil, fmt.Errorf("gsql: query reads from %q but schema is %q", q.From, schema.Name())
 	}
 	b := &binder{
-		plan:     &Plan{Query: q, Schema: schema},
+		plan:     &Plan{Query: q, Schema: schema, Shards: q.Shards, reg: reg},
 		reg:      reg,
 		schema:   schema,
 		stateIdx: map[string]int{},

@@ -10,6 +10,7 @@
 package gsql
 
 import (
+	"fmt"
 	"strings"
 
 	"streamop/internal/value"
@@ -131,6 +132,9 @@ type Query struct {
 	Having       Expr     // nil if absent
 	CleaningWhen Expr     // nil if absent
 	CleaningBy   Expr     // nil if absent
+	// Shards is the SHARDS clause's worker-count hint for parallel
+	// low-level execution; 0 means unspecified (runtime default).
+	Shards int
 }
 
 // String renders the query in re-parseable form.
@@ -181,6 +185,9 @@ func (q *Query) String() string {
 	if q.CleaningBy != nil {
 		b.WriteString("\nCLEANING BY ")
 		b.WriteString(q.CleaningBy.String())
+	}
+	if q.Shards > 0 {
+		fmt.Fprintf(&b, "\nSHARDS %d", q.Shards)
 	}
 	return b.String()
 }

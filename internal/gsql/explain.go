@@ -74,6 +74,9 @@ func (p *Plan) Describe() string {
 		fmt.Fprintf(&b, "  sfun states:     %s (per supergroup, handed off across windows)\n",
 			strings.Join(names, ", "))
 	}
+	if p.Shards > 0 {
+		fmt.Fprintf(&b, "  shards:          %d (parallel low-level partial-aggregation hint)\n", p.Shards)
+	}
 	fmt.Fprintf(&b, "  output columns:  %s\n", strings.Join(p.SelectNames, ", "))
 	return b.String()
 }

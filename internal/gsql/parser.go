@@ -21,6 +21,7 @@ import (
 //	[HAVING expr]
 //	[CLEANING WHEN expr]
 //	[CLEANING BY expr]
+//	[SHARDS number]
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -214,6 +215,17 @@ func (p *parser) parseQuery() (*Query, error) {
 		default:
 			return nil, p.errorf("expected WHEN or BY after CLEANING, found %q", p.peek().text)
 		}
+	}
+	if p.acceptKeyword("shards") {
+		t := p.advance()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected shard count after SHARDS, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errorf("SHARDS wants a positive integer, got %q", t.text)
+		}
+		q.Shards = n
 	}
 	return q, nil
 }

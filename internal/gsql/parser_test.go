@@ -210,6 +210,43 @@ func TestParseComments(t *testing.T) {
 	}
 }
 
+func TestParseShards(t *testing.T) {
+	q, err := Parse("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb SHARDS 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", q.Shards)
+	}
+	// Round trip: the clause must survive print -> reparse.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", q.String(), err)
+	}
+	if q2.Shards != 4 {
+		t.Errorf("reparsed Shards = %d, want 4", q2.Shards)
+	}
+	// Absent clause leaves the hint unset.
+	q3, err := Parse("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Shards != 0 {
+		t.Errorf("Shards = %d, want 0 when unspecified", q3.Shards)
+	}
+	for _, bad := range []string{
+		"SELECT x FROM S SHARDS",
+		"SELECT x FROM S SHARDS zero",
+		"SELECT x FROM S SHARDS 0",
+		"SELECT x FROM S SHARDS -2",
+		"SELECT x FROM S SHARDS 2.5",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
 func TestLexerErrors(t *testing.T) {
 	for _, src := range []string{"SELECT #", "SELECT x FROM S WHERE a ! b"} {
 		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "gsql:") {

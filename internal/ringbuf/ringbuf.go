@@ -71,6 +71,30 @@ func (r *Ring[T]) Push(v T) bool {
 	return true
 }
 
+// PushBatch appends as many elements of src as fit and returns the count
+// pushed (possibly 0). One tail publication covers the whole batch, so a
+// producer moving records in slices pays a single pair of atomic
+// operations instead of one per record. PushBatch never counts drops: a
+// pacing producer that must not block calls AddDrops for the rejected
+// remainder, while a backpressuring producer retries the tail of src.
+func (r *Ring[T]) PushBatch(src []T) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(src))
+	if free < n {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = src[i]
+	}
+	r.tail.Store(tail + n)
+	return int(n)
+}
+
+// AddDrops counts n records rejected outside Push — the batch producer's
+// accounting path for the remainder PushBatch could not place.
+func (r *Ring[T]) AddDrops(n uint64) { r.drops.Add(n) }
+
 // Pop removes and returns the oldest element; ok is false if the ring is
 // empty.
 func (r *Ring[T]) Pop() (v T, ok bool) {

@@ -97,6 +97,90 @@ func TestPopBatch(t *testing.T) {
 	}
 }
 
+func TestPushBatch(t *testing.T) {
+	r, _ := New[int](8)
+	if n := r.PushBatch([]int{0, 1, 2, 3, 4, 5}); n != 6 {
+		t.Fatalf("PushBatch = %d", n)
+	}
+	// Only two slots remain: the batch must be truncated, not dropped.
+	if n := r.PushBatch([]int{6, 7, 8, 9}); n != 2 {
+		t.Fatalf("overfull PushBatch = %d", n)
+	}
+	if r.Drops() != 0 {
+		t.Errorf("PushBatch counted %d drops; accounting is the caller's", r.Drops())
+	}
+	r.AddDrops(2)
+	if r.Drops() != 2 {
+		t.Errorf("Drops after AddDrops = %d", r.Drops())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d, %v; want %d", v, ok, i)
+		}
+	}
+	if n := r.PushBatch(nil); n != 0 {
+		t.Errorf("empty PushBatch = %d", n)
+	}
+}
+
+// TestPushBatchPopBatchSPSC runs the batch producer against the batch
+// consumer concurrently: the consumer must see every pushed element
+// exactly once, in order.
+func TestPushBatchPopBatchSPSC(t *testing.T) {
+	r, _ := New[int](256)
+	const total = 200000
+	var got []int
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // backpressuring batch producer
+		defer wg.Done()
+		defer close(done)
+		batch := make([]int, 0, 64)
+		flush := func() {
+			for off := 0; off < len(batch); {
+				off += r.PushBatch(batch[off:])
+			}
+			batch = batch[:0]
+		}
+		for i := 0; i < total; i++ {
+			batch = append(batch, i)
+			if len(batch) == cap(batch) {
+				flush()
+			}
+		}
+		flush()
+	}()
+	go func() { // batch consumer
+		defer wg.Done()
+		dst := make([]int, 64)
+		for {
+			n := r.PopBatch(dst)
+			got = append(got, dst[:n]...)
+			if n > 0 {
+				continue
+			}
+			select {
+			case <-done:
+				if r.Len() == 0 {
+					return
+				}
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	if len(got) != total {
+		t.Fatalf("received %d of %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
 func TestPopReleasesReferences(t *testing.T) {
 	r, _ := New[*int](2)
 	x := 42

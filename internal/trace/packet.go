@@ -111,3 +111,25 @@ func Collect(f Feed) []Packet {
 		out = append(out, p)
 	}
 }
+
+// Replay is Collect's counterpart: a Feed over a fixed packet slice, so
+// paired engine runs (e.g. Run vs RunParallel comparisons) see
+// byte-identical input. Each NewReplay reads from the front; the backing
+// slice is not copied.
+type Replay struct {
+	pkts []Packet
+	i    int
+}
+
+// NewReplay returns a feed that yields pkts in order.
+func NewReplay(pkts []Packet) *Replay { return &Replay{pkts: pkts} }
+
+// Next implements Feed.
+func (r *Replay) Next() (Packet, bool) {
+	if r.i >= len(r.pkts) {
+		return Packet{}, false
+	}
+	p := r.pkts[r.i]
+	r.i++
+	return p, true
+}
