@@ -6,8 +6,9 @@
 //	gsq -query 'SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/10 as tb, srcIP' -feed steady -duration 5
 //	gsq -queryfile q.gsql -feed bursty -seed 7
 //	gsq -queryfile q.gsql -replay capture.sopt
-//	gsq -queryfile q.gsql -metrics :9090 -events run.jsonl -stats
-//	gsq -queryfile q.gsql -trace out.json -trace-every 1000 -pprof
+//	gsq -queryfile q.gsql -o run/ -artifacts events,metrics,state,trace -stats
+//	gsq -queryfile q.gsql -metrics :9090 -pprof
+//	gsq -queryfile q.gsql -overload shed-sample -inject 'burst:256@0.5,stall:1ms@0.25' -stats
 //	gsq -query 'SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/1 as tb, srcIP' -partial 4096 -parallel -shards 4
 //
 // Feeds: bursty (research-center tap), steady (data-center tap), ddos,
@@ -23,30 +24,50 @@
 // (default: the query's SHARDS clause, then GOMAXPROCS-derived). See
 // docs/PARALLELISM.md for the run-mode semantics.
 // -stats prints node counters plus
-// ring occupancy and drops; -metrics serves live Prometheus telemetry and
-// the /debug introspection surface (/debug/plan, /debug/state,
-// /debug/pprof) and keeps serving after the feed drains until interrupted
-// (SIGINT or SIGTERM, shut down gracefully); -pprof serves the same
-// surface on an ephemeral port when -metrics is unset; -events streams
-// window-flush, cleaning, state-handoff and trace events as JSONL;
-// -trace writes deterministic 1-in-N provenance traces (-trace-every) as
-// Chrome trace-event JSON, loadable in Perfetto. See docs/OBSERVABILITY.md.
+// ring occupancy, drops and overload-controller state.
+//
+// -overload forces a ring admission policy (drop-tail, shed-sample or
+// block) on every ring, overriding any OVERLOAD query clause; -inject
+// wraps the feed in deterministic fault injectors
+// ("drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us", seeded by -seed).
+// See docs/ROBUSTNESS.md.
+//
+// Run artifacts are unified under -o DIR: -artifacts selects which files
+// to write (default "events,metrics,state"; add "trace" for provenance
+// traces and "replay" to record the consumed feed as a replayable
+// capture). The directory gets events.jsonl, metrics.prom, state.json,
+// trace.json and replay.sopt as selected. The old per-artifact flags
+// -events FILE and -trace FILE still work but are deprecated aliases.
+//
+// -metrics serves live Prometheus telemetry and the /debug introspection
+// surface (/debug/plan, /debug/state, /debug/pprof) and keeps serving
+// after the feed drains until interrupted (SIGINT or SIGTERM, shut down
+// gracefully); -pprof serves the same surface on an ephemeral port when
+// -metrics is unset. A SIGINT mid-run cancels the engine's context: open
+// windows flush, artifacts are still written, and the run reports how far
+// it got. -trace-every sets the 1-in-N provenance sampling rate. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"streamop/internal/core"
 	"streamop/internal/engine"
+	"streamop/internal/overload"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
 	"streamop/internal/tracing"
@@ -75,6 +96,10 @@ type config struct {
 	Parallel   bool    // -parallel: RunParallel instead of Run
 	Speedup    float64 // -speedup: pacing factor under -parallel (0 = unpaced)
 	Shards     int     // -shards: shard-count override for the partial node
+	Overload   string  // -overload: ring admission policy for every ring
+	Inject     string  // -inject: fault-injector spec wrapping the feed
+	OutDir     string  // -o: artifact directory
+	Artifacts  string  // -artifacts: comma list of artifacts to write under -o
 }
 
 func main() {
@@ -90,14 +115,18 @@ func main() {
 	flag.BoolVar(&cfg.Explain, "explain", false, "print the compiled plan and exit")
 	flag.IntVar(&cfg.Ring, "ring", 4096, "ring-buffer capacity feeding the query node")
 	flag.StringVar(&cfg.Metrics, "metrics", "", "serve Prometheus telemetry and /debug introspection on this address (e.g. :9090); keeps serving until SIGINT/SIGTERM")
-	flag.StringVar(&cfg.Events, "events", "", "stream JSONL telemetry events (window_flush, cleaning, state_handoff, trace_span, ...) to this file")
-	flag.StringVar(&cfg.TraceOut, "trace", "", "write provenance traces as Chrome trace-event JSON to this file (load in Perfetto)")
+	flag.StringVar(&cfg.Events, "events", "", "deprecated alias for -o DIR -artifacts events: stream JSONL telemetry events to this file")
+	flag.StringVar(&cfg.TraceOut, "trace", "", "deprecated alias for -o DIR -artifacts trace: write provenance traces as Chrome trace-event JSON to this file")
 	flag.IntVar(&cfg.TraceEvery, "trace-every", 1000, "with -trace: trace one in this many source packets (deterministic per -seed)")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "serve /debug/pprof and the introspection surface (on -metrics, or an ephemeral port when -metrics is unset)")
 	flag.IntVar(&cfg.Partial, "partial", 0, "run the query as a low-level partial-aggregation node with this many group-table slots (0 = full operator)")
 	flag.BoolVar(&cfg.Parallel, "parallel", false, "run with real concurrency (RunParallel); with -partial the node is sharded")
 	flag.Float64Var(&cfg.Speedup, "speedup", 0, "with -parallel: pace the replay at this multiple of capture time (0 = unpaced backpressure, no drops)")
 	flag.IntVar(&cfg.Shards, "shards", 0, "with -partial -parallel: worker replicas for the partial node (0 = query SHARDS clause, then GOMAXPROCS-derived)")
+	flag.StringVar(&cfg.Overload, "overload", "", "ring admission policy for every ring: drop-tail|shed-sample|block (overrides the query's OVERLOAD clause)")
+	flag.StringVar(&cfg.Inject, "inject", "", `deterministic fault injectors wrapping the feed, e.g. "drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us" (seeded by -seed)`)
+	flag.StringVar(&cfg.OutDir, "o", "", "write run artifacts into this directory (created if absent); see -artifacts")
+	flag.StringVar(&cfg.Artifacts, "artifacts", defaultArtifacts, "with -o: comma list of artifacts to write: events,metrics,state,trace,replay")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -119,7 +148,7 @@ func run(cfg config) error {
 		return fmt.Errorf("no query given (use -query or -queryfile)")
 	}
 
-	q, err := core.Compile(query, core.Options{Seed: cfg.Seed})
+	q, err := core.Compile(query, core.Options{Seed: cfg.Seed, Overload: cfg.Overload})
 	if err != nil {
 		return err
 	}
@@ -128,33 +157,46 @@ func run(cfg config) error {
 		return nil
 	}
 
+	var faults *overload.Faults
+	if cfg.Inject != "" {
+		faults, err = overload.ParseFaults(cfg.Inject, cfg.Seed)
+		if err != nil {
+			return err
+		}
+	}
+	art, err := resolveArtifacts(cfg)
+	if err != nil {
+		return err
+	}
+
 	feed, err := openFeed(cfg.Feed, cfg.Replay, cfg.Duration, cfg.Seed)
 	if err != nil {
 		return err
 	}
 
-	// A SIGINT or SIGTERM anywhere in the run cancels ctx: the post-drain
-	// serving phase below exits promptly even if the signal landed while
-	// the feed was still draining.
+	// A SIGINT or SIGTERM anywhere in the run cancels ctx: the engine
+	// stops admitting packets, flushes open windows, and run falls
+	// through to write artifacts; the post-drain serving phase below
+	// exits promptly too.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Telemetry is opt-in: without -metrics, -events or -pprof the engine
-	// runs an uninstrumented (nil-collector) query.
+	// Telemetry is opt-in: without -metrics, -pprof or telemetry
+	// artifacts the engine runs an uninstrumented (nil-collector) query.
 	metricsAddr := cfg.Metrics
 	if cfg.Pprof && metricsAddr == "" {
 		metricsAddr = "127.0.0.1:0"
 	}
 	var col *telemetry.Collector
-	if cfg.Events != "" {
-		f, err := os.Create(cfg.Events)
+	if art.Events != "" {
+		f, err := os.Create(art.Events)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		out := bufio.NewWriter(f)
 		col = telemetry.NewWithEvents(out)
-	} else if metricsAddr != "" {
+	} else if metricsAddr != "" || art.Metrics != "" || art.State != "" {
 		col = telemetry.New()
 	}
 	var srv *http.Server
@@ -165,6 +207,11 @@ func run(cfg config) error {
 		}
 		srv = s
 		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics, introspection at /debug/{plan,state,pprof}\n", addr)
+	} else if art.State != "" {
+		// The state artifact snapshots /debug/state at exit; building the
+		// handler flips DebugActive so operators publish their boundary
+		// snapshots even though nothing serves HTTP.
+		_ = col.Handler()
 	}
 
 	e, err := engine.New(cfg.Ring)
@@ -174,8 +221,18 @@ func run(cfg config) error {
 	if col != nil {
 		e.SetCollector(col)
 	}
+	if cfg.Overload != "" {
+		p, err := overload.ParsePolicy(cfg.Overload) // already validated by Compile
+		if err != nil {
+			return err
+		}
+		e.SetOverload(overload.Config{Policy: p, Seed: cfg.Seed})
+	}
+	if faults != nil {
+		e.SetFaults(faults)
+	}
 	var tr *tracing.Tracer
-	if cfg.TraceOut != "" {
+	if art.Trace != "" {
 		tr = tracing.New(tracing.Config{Every: cfg.TraceEvery, Seed: cfg.Seed})
 		tr.SetCollector(col)
 		e.SetTracer(tr)
@@ -211,24 +268,70 @@ func run(cfg config) error {
 		return nil
 	})
 
+	// The replay artifact records the input feed (before fault injection)
+	// as a binary capture: replaying it with the same -seed and -inject
+	// reproduces the run.
+	var rec *trace.Writer
+	var recFile *os.File
+	if art.Replay != "" {
+		recFile, err = os.Create(art.Replay)
+		if err != nil {
+			return err
+		}
+		rec, err = trace.NewWriter(recFile)
+		if err != nil {
+			recFile.Close()
+			return err
+		}
+		feed = recordFeed{feed: feed, w: rec}
+	}
+
 	fmt.Println(strings.Join(q.Columns(), ","))
 	if cfg.Parallel {
 		if tr != nil {
 			fmt.Fprintln(os.Stderr, "gsq: note: provenance tracing is ignored under -parallel (see docs/PARALLELISM.md)")
 		}
-		err = e.RunParallel(feed, cfg.Speedup)
+		err = e.RunParallelContext(ctx, feed, cfg.Speedup)
 	} else {
-		err = e.Run(feed)
+		err = e.RunContext(ctx, feed)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		return err
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "gsq: interrupted; open windows flushed, writing artifacts")
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			recFile.Close()
+			return fmt.Errorf("writing replay capture: %w", err)
+		}
+		if err := recFile.Close(); err != nil {
+			return fmt.Errorf("writing replay capture: %w", err)
+		}
 	}
 	if err := col.Close(); err != nil {
 		return fmt.Errorf("flushing events: %w", err)
 	}
 	if tr != nil {
-		if err := writeTrace(cfg.TraceOut, tr); err != nil {
+		if err := writeTrace(art.Trace, tr); err != nil {
 			return err
+		}
+	}
+	if art.Metrics != "" {
+		if err := writeFileWith(art.Metrics, col.WritePrometheus); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if art.State != "" {
+		state := col.DebugData("state")
+		if err := writeFileWith(art.State, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(state)
+		}); err != nil {
+			return fmt.Errorf("writing state: %w", err)
 		}
 	}
 
@@ -257,10 +360,18 @@ func run(cfg config) error {
 			fmt.Fprintf(os.Stderr, "traces started=%d finished=%d spans=%d dispositions=%v\n",
 				sum.Started, sum.Finished, sum.Spans, sum.Dispositions)
 		}
+		for _, s := range e.Overload() {
+			fmt.Fprintf(os.Stderr, "overload %s/%s policy=%s state=%s offered=%d admitted=%d shed=%d dropped=%d peak=%d admit_p=%.3f\n",
+				s.Node, s.Ring, s.Policy, s.State, s.Offered, s.Admitted, s.Shed, s.Dropped, s.PeakOcc, s.AdmitP)
+		}
+		if faults != nil {
+			fmt.Fprintf(os.Stderr, "inject %s: dropped=%d bursts=%d stalls=%d\n",
+				faults, faults.Dropped(), faults.Bursts(), faults.Stalls())
+		}
 	}
 
 	if srv != nil {
-		if cfg.Metrics != "" || cfg.Pprof {
+		if (cfg.Metrics != "" || cfg.Pprof) && !interrupted {
 			fmt.Fprintln(os.Stderr, "gsq: feed drained; still serving telemetry, SIGINT/SIGTERM to exit")
 			<-ctx.Done()
 		}
@@ -271,6 +382,100 @@ func run(cfg config) error {
 		}
 	}
 	return nil
+}
+
+// defaultArtifacts is what -o writes when -artifacts is not given; the
+// trace and replay artifacts are opt-in (tracing changes what the run
+// records, and replay captures can be large).
+const defaultArtifacts = "events,metrics,state"
+
+// artifactPaths resolves where each run artifact lands: under -o DIR per
+// the -artifacts selection, or at the paths the deprecated -events and
+// -trace aliases name directly. An empty path disables the artifact.
+type artifactPaths struct {
+	Events  string // JSONL telemetry event stream
+	Metrics string // final Prometheus exposition
+	State   string // final /debug/state snapshot
+	Trace   string // Chrome trace-event provenance JSON
+	Replay  string // binary capture of the input feed
+}
+
+func resolveArtifacts(cfg config) (artifactPaths, error) {
+	var a artifactPaths
+	if cfg.OutDir == "" {
+		if cfg.Events != "" {
+			fmt.Fprintln(os.Stderr, "gsq: warning: -events FILE is deprecated; use -o DIR -artifacts events")
+			a.Events = cfg.Events
+		}
+		if cfg.TraceOut != "" {
+			fmt.Fprintln(os.Stderr, "gsq: warning: -trace FILE is deprecated; use -o DIR -artifacts trace")
+			a.Trace = cfg.TraceOut
+		}
+		return a, nil
+	}
+	if cfg.Events != "" || cfg.TraceOut != "" {
+		return a, fmt.Errorf("-events/-trace name their own output files; with -o select artifacts via -artifacts instead")
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return a, err
+	}
+	arts := cfg.Artifacts
+	if arts == "" {
+		arts = defaultArtifacts
+	}
+	for _, name := range strings.Split(arts, ",") {
+		switch strings.TrimSpace(name) {
+		case "events":
+			a.Events = filepath.Join(cfg.OutDir, "events.jsonl")
+		case "metrics":
+			a.Metrics = filepath.Join(cfg.OutDir, "metrics.prom")
+		case "state":
+			a.State = filepath.Join(cfg.OutDir, "state.json")
+		case "trace":
+			a.Trace = filepath.Join(cfg.OutDir, "trace.json")
+		case "replay":
+			a.Replay = filepath.Join(cfg.OutDir, "replay.sopt")
+		case "":
+		default:
+			return a, fmt.Errorf("unknown artifact %q (valid: events,metrics,state,trace,replay)", strings.TrimSpace(name))
+		}
+	}
+	return a, nil
+}
+
+// recordFeed forwards a feed while appending every packet to a binary
+// capture. A write error is sticky in the buffered writer and surfaces at
+// the post-run Flush.
+type recordFeed struct {
+	feed trace.Feed
+	w    *trace.Writer
+}
+
+func (f recordFeed) Next() (trace.Packet, bool) {
+	p, ok := f.feed.Next()
+	if ok {
+		_ = f.w.Write(p)
+	}
+	return p, ok
+}
+
+// writeFileWith creates path and streams fill's output into it through a
+// buffered writer.
+func writeFileWith(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace renders the tracer's buffered spans as Chrome trace-event

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -147,6 +148,166 @@ func TestRunEventsFile(t *testing.T) {
 	}
 	if flushes == 0 {
 		t.Error("no window_flush events recorded")
+	}
+}
+
+// TestRunOutDirArtifacts exercises the unified -o DIR output: every
+// artifact selected via -artifacts must land in the directory, well
+// formed, and the replay capture must drive an identical re-run.
+func TestRunOutDirArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 1, Seed: 1, Ring: 4096,
+		OutDir: dir, Artifacts: "events,metrics,state,trace,replay", TraceEvery: 100,
+	})
+	if err != nil {
+		t.Fatalf("run -o: %v", err)
+	}
+
+	// events.jsonl: parseable JSONL with at least one window_flush.
+	f, err := os.Open(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev["event"] == "window_flush" {
+			flushes++
+		}
+	}
+	f.Close()
+	if flushes == 0 {
+		t.Error("events.jsonl has no window_flush events")
+	}
+
+	// metrics.prom: a final Prometheus exposition with engine metrics.
+	b, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "streamop_") {
+		t.Error("metrics.prom has no streamop_ metrics")
+	}
+
+	// state.json: the /debug/state snapshot with the engine's ring.
+	b, err = os.ReadFile(filepath.Join(dir, "state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state map[string]any
+	if err := json.Unmarshal(b, &state); err != nil {
+		t.Fatalf("state.json is not JSON: %v", err)
+	}
+	eng, ok := state["engine"].(map[string]any)
+	if !ok || eng["ring"] == nil {
+		t.Errorf("state.json missing engine ring: %v", state)
+	}
+
+	// trace.json: a Chrome trace-event array.
+	b, err = os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace.json is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace.json is empty")
+	}
+
+	// replay.sopt: a valid capture that can drive a re-run.
+	if err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Replay: filepath.Join(dir, "replay.sopt"),
+		Seed: 1, Ring: 4096,
+	}); err != nil {
+		t.Fatalf("re-run from replay.sopt: %v", err)
+	}
+}
+
+// TestRunOutDirDefaults checks the default artifact selection (events,
+// metrics, state — no trace, no replay) when -artifacts is unset.
+func TestRunOutDirDefaults(t *testing.T) {
+	dir := t.TempDir()
+	err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 0.5, Seed: 1, Ring: 4096, OutDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("run -o with default artifacts: %v", err)
+	}
+	for _, want := range []string{"events.jsonl", "metrics.prom", "state.json"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("default artifact %s missing: %v", want, err)
+		}
+	}
+	for _, skip := range []string{"trace.json", "replay.sopt"} {
+		if _, err := os.Stat(filepath.Join(dir, skip)); err == nil {
+			t.Errorf("opt-in artifact %s written by default", skip)
+		}
+	}
+}
+
+func TestRunArtifactFlagErrors(t *testing.T) {
+	base := config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 0.1, Seed: 1, Ring: 4096,
+	}
+	cfg := base
+	cfg.OutDir, cfg.Artifacts = t.TempDir(), "events,bogus"
+	if err := run(cfg); err == nil {
+		t.Error("unknown artifact name accepted")
+	}
+	cfg = base
+	cfg.OutDir, cfg.Events = t.TempDir(), "ev.jsonl"
+	if err := run(cfg); err == nil {
+		t.Error("-o combined with -events accepted")
+	}
+	cfg = base
+	cfg.OutDir, cfg.TraceOut = t.TempDir(), "t.json"
+	if err := run(cfg); err == nil {
+		t.Error("-o combined with -trace accepted")
+	}
+}
+
+// TestRunOverloadInject exercises -overload and -inject end to end for
+// every policy, over both Run and paced RunParallel.
+func TestRunOverloadInject(t *testing.T) {
+	for _, policy := range []string{"drop-tail", "shed-sample", "block"} {
+		err := run(config{
+			Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+			Feed:  "steady", Duration: 0.5, Seed: 1, Ring: 512, Stats: true,
+			Overload: policy, Inject: "drop:0.1,burst:64@0.5,stall:100us@0.25,slow:1us",
+		})
+		if err != nil {
+			t.Fatalf("run -overload %s -inject: %v", policy, err)
+		}
+	}
+	if err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 0.3, Seed: 1, Ring: 512,
+		Parallel: true, Speedup: 1000, Overload: "shed-sample", Inject: "burst:128@0.5,stall:200us@0.5",
+	}); err != nil {
+		t.Fatalf("run -parallel -overload -inject: %v", err)
+	}
+	if err := run(config{
+		Query: "SELECT uts FROM PKT", Feed: "steady", Duration: 0.1, Seed: 1, Ring: 512,
+		Overload: "tail-drop",
+	}); err == nil {
+		t.Error("bad -overload policy accepted")
+	}
+	if err := run(config{
+		Query: "SELECT uts FROM PKT", Feed: "steady", Duration: 0.1, Seed: 1, Ring: 512,
+		Inject: "drop:2.0",
+	}); err == nil {
+		t.Error("bad -inject spec accepted")
 	}
 }
 

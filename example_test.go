@@ -29,7 +29,7 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
 		log.Fatal(err)
 	}
 	counts := map[int64]int{}
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		counts[row.Values[0].AsInt()]++
 	}
 	for w := int64(0); w < 2; w++ {
@@ -53,7 +53,7 @@ func ExampleCompile_selection() {
 			log.Fatal(err)
 		}
 	}
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		fmt.Println(row.Values)
 	}
 	// Output:
@@ -87,7 +87,7 @@ func ExampleNewRegistry() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Println(len(q.Rows), "of 9 sampled")
+	fmt.Println(len(q.Collected), "of 9 sampled")
 	// Output:
 	// 3 of 9 sampled
 }

@@ -61,7 +61,7 @@ CLEANING BY count(*) >= current_bucket() - first(current_bucket())`,
 
 	fmt.Println("heavy hitters (>= 2500 packets):")
 	fmt.Println("source IP         counted     exact    bytes")
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		src := row.Values[1].Uint()
 		fmt.Printf("%-15s %9d %9d %9d\n",
 			ipString(uint32(src)), row.Values[3].AsInt(), exact[src], row.Values[2].AsInt())

@@ -70,7 +70,7 @@ CLEANING BY HX <= Kth_smallest_value$(HX, 100)`, streamop.Options{Seed: 5})
 
 	// Collect per-source signatures from the query output.
 	sigs := map[uint32][]uint64{}
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		src := uint32(row.Values[1].Uint())
 		sigs[src] = append(sigs[src], row.Values[2].Uint())
 	}

@@ -55,7 +55,7 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, window), streamop.Options{Seed: 7})
 
 	// Subset-sum over the sample: group adjusted weights by source.
 	est := map[uint64]float64{}
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		est[row.Values[1].Uint()] += row.Values[3].AsFloat()
 	}
 
@@ -70,7 +70,7 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, window), streamop.Options{Seed: 7})
 	}
 	sort.Slice(ranked, func(i, j int) bool { return ranked[i].bytes > ranked[j].bytes })
 
-	fmt.Printf("top sources by volume, exact vs estimated from %d samples:\n\n", len(q.Rows))
+	fmt.Printf("top sources by volume, exact vs estimated from %d samples:\n\n", len(q.Collected))
 	fmt.Println("source IP           exact bytes     estimated     rel.err   share")
 	for i := 0; i < 10 && i < len(ranked); i++ {
 		r := ranked[i]

@@ -58,7 +58,7 @@ HAVING count(*) >= 20000`, streamop.Options{Registry: reg})
 
 	fmt.Println("per-source packet-length quantiles (sources with >= 20k packets):")
 	fmt.Println("source IP         packets    ~p25  exact    ~p75  exact    ~p99  exact")
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		src := uint32(row.Values[1].Uint())
 		lens := exact[src]
 		sort.Ints(lens)

@@ -35,37 +35,47 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
 		log.Fatal(err)
 	}
 
-	// Track the true per-window volume alongside, for comparison.
+	// Track the true per-window volume alongside, for comparison. The
+	// counting wrapper taps each packet on its way into the query.
 	actual := map[int64]float64{}
-	counting := func(p streamop.Packet) {
+	q.SetFeed(tapFeed{feed: feed, tap: func(p streamop.Packet) {
 		actual[int64(p.Time/1e9/5)] += float64(p.Len)
-	}
-	for {
-		p, ok := feed.Next()
-		if !ok {
-			break
-		}
-		counting(p)
-		if err := q.ProcessPacket(p); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := q.Flush(); err != nil {
-		log.Fatal(err)
-	}
+	}})
 
-	// Sum the adjusted weights per window: the subset-sum estimator.
+	// Stream the samples: the Rows loop pulls packets through the query
+	// incrementally and runs the body as each window's rows are emitted —
+	// no buffering of the whole sample set.
 	est := map[int64]float64{}
 	count := map[int64]int{}
-	for _, row := range q.Rows {
+	total := 0
+	for row := range q.Rows() {
 		w := row.Values[0].AsInt()
 		est[w] += row.Values[4].AsFloat()
 		count[w]++
+		total++
 	}
+	if err := q.Err(); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("window   samples   estimated bytes       actual bytes   rel.err")
 	for w := int64(0); w < 2; w++ {
 		relErr := (est[w] - actual[w]) / actual[w]
 		fmt.Printf("%6d   %7d   %15.0f   %16.0f   %+.3f\n", w, count[w], est[w], actual[w], relErr)
 	}
-	fmt.Printf("\n%d total samples summarize %d packets\n", len(q.Rows), q.Stats().TuplesIn)
+	fmt.Printf("\n%d total samples summarize %d packets\n", total, q.Stats().TuplesIn)
+}
+
+// tapFeed forwards a feed while calling tap on every packet.
+type tapFeed struct {
+	feed streamop.Feed
+	tap  func(streamop.Packet)
+}
+
+func (f tapFeed) Next() (streamop.Packet, bool) {
+	p, ok := f.feed.Next()
+	if ok {
+		f.tap(p)
+	}
+	return p, ok
 }

@@ -1,7 +1,8 @@
 // Package core composes the paper's contribution into a directly usable
 // unit: it compiles a GSQL sampling query (grouping + SUPERGROUP +
 // CLEANING WHEN/BY + stateful functions) against a stream schema and runs
-// it over packets or tuples, collecting the per-window samples.
+// it over packets or tuples, collecting or streaming the per-window
+// samples.
 //
 // The pieces it wires together are the parser/analyzer (internal/gsql),
 // the operator runtime (internal/operator) and the stateful-function
@@ -10,10 +11,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 
 	"streamop/internal/gsql"
 	"streamop/internal/operator"
+	"streamop/internal/overload"
 	"streamop/internal/sfun"
 	"streamop/internal/sfunlib"
 	"streamop/internal/trace"
@@ -45,9 +50,18 @@ type Options struct {
 	Registry *sfun.Registry
 	// Seed seeds the randomized library functions when Registry is nil.
 	Seed uint64
-	// Emit receives output rows as they are produced; nil collects them
-	// in Query.Rows.
+	// OnRow receives output rows as they are produced; nil collects them
+	// in Query.Collected (unless Query.Rows drives the feed instead).
+	OnRow func(Row) error
+	// Emit is the former name of OnRow, honored when OnRow is nil.
+	//
+	// Deprecated: set OnRow.
 	Emit func(Row) error
+	// Overload overrides the query's OVERLOAD clause: the ring admission
+	// policy ("drop-tail", "shed-sample" or "block") the compiled plan
+	// requests when wired into an Engine. Empty leaves the clause (or the
+	// runtime default) in force.
+	Overload string
 }
 
 // Query is a compiled, running sampling query.
@@ -57,9 +71,13 @@ type Query struct {
 	cols []string
 	emit func(Row) error
 
-	// Rows accumulates output when no Emit callback was configured.
-	Rows []Row
+	// Collected accumulates output when no OnRow callback was configured
+	// and Rows is not driving a feed. (It was named Rows before Rows
+	// became the streaming iterator.)
+	Collected []Row
 
+	feed    trace.Feed
+	err     error
 	scratch tuple.Tuple
 }
 
@@ -77,11 +95,22 @@ func Compile(src string, opts Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Overload != "" {
+		p, err := overload.ParsePolicy(opts.Overload)
+		if err != nil {
+			return nil, err
+		}
+		parsed.Overload = p.String()
+	}
 	plan, err := gsql.Analyze(parsed, schema, reg)
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{plan: plan, cols: plan.SelectNames, emit: opts.Emit}
+	emit := opts.OnRow
+	if emit == nil {
+		emit = opts.Emit
+	}
+	q := &Query{plan: plan, cols: plan.SelectNames, emit: emit}
 	if schema.Name() == trace.Schema().Name() && schema.NumFields() == trace.NumFields {
 		q.scratch = make(tuple.Tuple, trace.NumFields)
 	}
@@ -90,7 +119,7 @@ func Compile(src string, opts Options) (*Query, error) {
 		if q.emit != nil {
 			return q.emit(r)
 		}
-		q.Rows = append(q.Rows, r)
+		q.Collected = append(q.Collected, r)
 		return nil
 	})
 	if err != nil {
@@ -119,7 +148,26 @@ func (q *Query) ProcessPacket(p trace.Packet) error {
 
 // RunFeed drains an entire packet feed through the query and flushes.
 func (q *Query) RunFeed(feed trace.Feed) error {
+	return q.RunContext(context.Background(), feed)
+}
+
+// RunContext is RunFeed with cancellation: when ctx is cancelled the
+// query stops taking packets, flushes the open window (so the collected
+// or streamed output ends on a window boundary), and returns ctx.Err().
+// A context.Background() run is identical to RunFeed.
+func (q *Query) RunContext(ctx context.Context, feed trace.Feed) error {
+	done := ctx.Done()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				if err := q.Flush(); err != nil {
+					return err
+				}
+				return ctx.Err()
+			default:
+			}
+		}
 		p, ok := feed.Next()
 		if !ok {
 			break
@@ -130,6 +178,72 @@ func (q *Query) RunFeed(feed trace.Feed) error {
 	}
 	return q.Flush()
 }
+
+// SetFeed attaches a packet feed for Rows to drive. The feed is consumed
+// by the first Rows loop.
+func (q *Query) SetFeed(feed trace.Feed) { q.feed = feed }
+
+// errStopRows aborts feed processing when a Rows consumer breaks out of
+// its loop early; it never escapes the iterator.
+var errStopRows = errors.New("core: row iteration stopped")
+
+// Rows returns the query's output as a range-able sequence. With a feed
+// attached (SetFeed), the loop body runs as each window's rows are
+// produced — packets are pulled incrementally, nothing is buffered, and
+// breaking out of the loop stops the feed; check Err afterwards for a
+// processing error. Without a feed it replays the rows Collected by an
+// earlier RunFeed, so existing collect-then-iterate code only changes
+// spelling:
+//
+//	q.SetFeed(feed)
+//	for row := range q.Rows() { ... }
+//	if err := q.Err(); err != nil { ... }
+func (q *Query) Rows() iter.Seq[Row] {
+	return func(yield func(Row) bool) {
+		if q.feed == nil {
+			for _, r := range q.Collected {
+				if !yield(r) {
+					return
+				}
+			}
+			return
+		}
+		feed := q.feed
+		q.feed = nil
+		prev := q.emit
+		defer func() { q.emit = prev }()
+		stopped := false
+		q.emit = func(r Row) error {
+			if !stopped && !yield(r) {
+				stopped = true
+			}
+			if stopped {
+				return errStopRows
+			}
+			return nil
+		}
+		q.err = nil
+		for {
+			p, ok := feed.Next()
+			if !ok {
+				break
+			}
+			if err := q.ProcessPacket(p); err != nil {
+				if !stopped {
+					q.err = err
+				}
+				return
+			}
+		}
+		if err := q.Flush(); err != nil && !stopped {
+			q.err = err
+		}
+	}
+}
+
+// Err returns the processing error of the last feed-driven Rows loop
+// (nil after a clean drain or a deliberate break).
+func (q *Query) Err() error { return q.err }
 
 // Flush closes the current window, emitting its sample.
 func (q *Query) Flush() error { return q.op.Flush() }

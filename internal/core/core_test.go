@@ -43,11 +43,11 @@ func TestRunFeedCollectsRows(t *testing.T) {
 	if err := q.RunFeed(feed); err != nil {
 		t.Fatal(err)
 	}
-	if len(q.Rows) != 3 {
-		t.Fatalf("rows = %d, want 3 windows", len(q.Rows))
+	if len(q.Collected) != 3 {
+		t.Fatalf("rows = %d, want 3 windows", len(q.Collected))
 	}
 	var total int64
-	for _, r := range q.Rows {
+	for _, r := range q.Collected {
 		total += r.Values[1].AsInt()
 	}
 	if total != q.Stats().TuplesIn {
@@ -66,8 +66,8 @@ func TestEmitCallback(t *testing.T) {
 	if err := q.ProcessPacket(trace.Packet{Time: 1, Len: 5}); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || len(q.Rows) != 0 {
-		t.Errorf("emit got %d, Rows %d", len(got), len(q.Rows))
+	if len(got) != 1 || len(q.Collected) != 0 {
+		t.Errorf("emit got %d, Rows %d", len(got), len(q.Collected))
 	}
 }
 
@@ -115,10 +115,10 @@ func TestCustomSchemaTuples(t *testing.T) {
 	if err := q.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if len(q.Rows) != 3 {
-		t.Fatalf("rows = %d", len(q.Rows))
+	if len(q.Collected) != 3 {
+		t.Fatalf("rows = %d", len(q.Collected))
 	}
-	if q.Rows[0].Values[1].AsInt() != 20 {
-		t.Errorf("window 0 sum = %v", q.Rows[0].Values[1])
+	if q.Collected[0].Values[1].AsInt() != 20 {
+		t.Errorf("window 0 sum = %v", q.Collected[0].Values[1])
 	}
 }

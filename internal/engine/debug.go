@@ -136,5 +136,8 @@ func (e *Engine) debugState() map[string]any {
 	if e.tr != nil {
 		st["trace"] = e.tr.Summary()
 	}
+	if snaps := e.Overload(); len(snaps) > 0 {
+		st["overload"] = snaps
+	}
 	return st
 }

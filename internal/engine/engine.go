@@ -13,12 +13,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"streamop/internal/gsql"
 	"streamop/internal/operator"
+	"streamop/internal/overload"
 	"streamop/internal/ringbuf"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
@@ -151,6 +153,12 @@ type Engine struct {
 
 	// Provenance tracer (see tracing.go); nil when tracing is off.
 	tr *tracing.Tracer
+
+	// Overload admission and fault injection (see overload.go).
+	gateRegistry
+	// shardCap overrides the shard rings' capacity when > 0 (tests use
+	// deliberately tiny rings to force overload).
+	shardCap int
 }
 
 // New returns an engine with a ring buffer of the given capacity
@@ -245,9 +253,25 @@ func (e *Engine) AddHighLevel(name string, parent *Node, plan *gsql.Plan) (*Node
 
 // Run drains the feed through the node tree to completion.
 func (e *Engine) Run(feed trace.Feed) error {
+	return e.RunContext(context.Background(), feed)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the producer
+// stops taking packets from the feed, the ring drains, every node flushes
+// its open windows bottom-up (so telemetry stays boundary-consistent),
+// and RunContext returns ctx.Err(). A context.Background() run is
+// identical to Run.
+func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 	if len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
+	feed = e.faults.Wrap(feed)
+	e.srcGate = e.newGate(e.resolveOverload(e.sourcePlan(), "source", "0"), e.ring, "source", "0")
+	e.setGates([]*ringGate{e.srcGate})
+	// ctxDone is nil for context.Background(), keeping the cancellation
+	// check off the packet loop entirely in the common case.
+	ctxDone := ctx.Done()
+	cancelled := false
 	const batch = 512
 	pkts := make([]trace.Packet, batch)
 	scratch := make(tuple.Tuple, trace.NumFields)
@@ -255,6 +279,16 @@ func (e *Engine) Run(feed trace.Feed) error {
 	for !done {
 		// Producer: fill the ring from the feed.
 		for e.ring.Len() < e.ring.Cap() {
+			if ctxDone != nil {
+				select {
+				case <-ctxDone:
+					cancelled, done = true, true
+				default:
+				}
+				if cancelled {
+					break
+				}
+			}
 			p, ok := feed.Next()
 			if !ok {
 				done = true
@@ -266,13 +300,7 @@ func (e *Engine) Run(feed trace.Feed) error {
 			}
 			e.lastTS = p.Time
 			e.packets++
-			// NextSeq is an inlinable field read, so the untraced 999 in
-			// 1000 packets skip the tracer's offer machinery entirely.
-			if e.tr != nil && uint64(e.packets-1) == e.tr.NextSeq() {
-				e.pushTraced(p)
-			} else {
-				e.ring.Push(p)
-			}
+			e.offerSource(p)
 		}
 		e.noteRingPeak()
 		e.syncSourceRing()
@@ -282,6 +310,9 @@ func (e *Engine) Run(feed trace.Feed) error {
 			n := e.ring.PopBatch(pkts)
 			if n == 0 {
 				break
+			}
+			if d := e.consumerDelay(); d > 0 {
+				time.Sleep(d)
 			}
 			// Traced packets follow the first low-level node through the
 			// DAG (one terminal disposition per trace).
@@ -302,8 +333,9 @@ func (e *Engine) Run(feed trace.Feed) error {
 				return err
 			}
 		}
+		e.srcGate.sync()
 	}
-	// End of stream: flush bottom-up.
+	// End of stream (or cancellation): flush bottom-up.
 	for _, low := range e.low {
 		start := time.Now()
 		err := low.op.Flush()
@@ -333,10 +365,47 @@ func (e *Engine) Run(feed trace.Feed) error {
 		n.syncTelemetry(0)
 	}
 	e.syncSourceRing()
+	e.srcGate.sync()
 	// Safety net: any trace still in flight (e.g. queued behind a node with
 	// no low-level consumer) terminates rather than leaking open.
 	e.tr.FinishOpen("stream_end")
+	if cancelled {
+		return ctx.Err()
+	}
 	return nil
+}
+
+// offerSource admits and pushes one packet into the source ring,
+// threading the provenance tracer's offer through admission so a shed
+// packet finishes with the shed disposition. Run's producer only. The
+// fill loop guarantees ring space, so under drop-tail and block the push
+// cannot fail — block degenerates to drop-tail here, and the drop path
+// below is reachable only defensively.
+func (e *Engine) offerSource(p trace.Packet) {
+	// NextSeq is an inlinable field read, so the untraced 999 in 1000
+	// packets skip the tracer's offer machinery entirely.
+	var tt *tracing.TupleTrace
+	if e.tr != nil && uint64(e.packets-1) == e.tr.NextSeq() {
+		tt = e.tr.SourceOffer(uint64(e.packets - 1))
+	}
+	if g := e.srcGate; g.policy == overload.ShedSample {
+		if !g.ctrl.Admit(e.ring.Len(), e.ring.Cap()) {
+			if tt != nil {
+				e.tr.SourceShed(tt, e.ring.Len())
+			}
+			return
+		}
+	}
+	if tt == nil {
+		e.ring.Push(p)
+		return
+	}
+	idx := e.ring.Pushed()
+	if e.ring.Push(p) {
+		e.tr.SourceEnqueued(tt, idx, e.ring.Len())
+	} else {
+		e.tr.SourceDropped(tt, e.ring.Len())
+	}
 }
 
 // drainHigh processes queued tuples at every high-level node, in
@@ -387,6 +456,11 @@ func (e *Engine) Drops() uint64 { return e.ring.Drops() }
 
 // RingCap returns the source ring buffer's capacity.
 func (e *Engine) RingCap() int { return e.ring.Cap() }
+
+// SetShardRingCap overrides the per-shard ring capacity RunParallel gives
+// sharded partial-aggregation nodes (default 4096); chaos tests use
+// deliberately tiny rings to force overload. n <= 0 restores the default.
+func (e *Engine) SetShardRingCap(n int) { e.shardCap = n }
 
 // Utilization returns node busy time divided by the simulated stream
 // duration: the fraction of one CPU the node consumes to keep up with the

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"streamop/internal/gsql"
+	"streamop/internal/overload"
+	"streamop/internal/ringbuf"
+	"streamop/internal/telemetry"
+	"streamop/internal/trace"
+)
+
+// Overload admission and fault injection for the two-level runtime.
+//
+// Every producer-side ring push goes through a ringGate: an
+// overload.Controller deciding admission plus the push itself, under the
+// resolved policy. The policy for a ring comes from SetOverload (engine
+// wide), falling back to the node plan's OVERLOAD hint, falling back to
+// drop-tail — which keeps today's exact behavior and per-packet cost: the
+// drop-tail gate never runs the per-packet Admit draw; its accounting is
+// reconciled from the ring's own counters at batch boundaries
+// (Controller.ObserveRing).
+//
+// Where the gates live depends on the run mode. Run has one gate on the
+// shared source ring; its producer is self-clocked (fill the ring, then
+// drain it), so nothing ever drops there and block degenerates to
+// drop-tail, while shed-sample still applies its admission draw — useful
+// for deterministic shed accounting, not for load balancing. Paced
+// RunParallel is where policies earn their keep: the producer never waits
+// for consumers, so each low-level ring and each shard ring gets a gate
+// and the policy decides what an overflowing ring costs (drops, sheds, or
+// bounded blocking). Unpaced RunParallel already backpressures — the
+// moral equivalent of block with no timeout — and runs ungated.
+//
+// Fault injection (SetFaults) wraps the feed with internal/overload's
+// deterministic injectors before the run starts, and applies the
+// slow-consumer delay inside the engine's consumer loops, where a feed
+// wrapper cannot reach.
+
+// SetOverload sets the engine-wide admission policy, overriding any
+// OVERLOAD plan hints. Call before Run or RunParallel.
+func (e *Engine) SetOverload(cfg overload.Config) {
+	e.olCfg = cfg
+	e.olSet = true
+}
+
+// SetFaults attaches a deterministic fault-injector set: the engine wraps
+// its feed with f at run start and honors f's slow-consumer delay in the
+// consumer loops. A nil f disables injection.
+func (e *Engine) SetFaults(f *overload.Faults) { e.faults = f }
+
+// Faults returns the attached injector set, nil when none.
+func (e *Engine) Faults() *overload.Faults { return e.faults }
+
+// Overload returns a snapshot of every admission controller of the
+// current (or most recent) run, one per gated ring. Safe from any
+// goroutine; empty before the first run and after ungated (unpaced
+// parallel) runs.
+func (e *Engine) Overload() []overload.Snapshot {
+	gs := e.gates.Load()
+	if gs == nil {
+		return nil
+	}
+	out := make([]overload.Snapshot, 0, len(*gs))
+	for _, g := range *gs {
+		out = append(out, g.ctrl.Snapshot(g.node, g.ringLbl))
+	}
+	return out
+}
+
+// setGates publishes the run's gate list for Overload and /debug/state.
+func (e *Engine) setGates(gs []*ringGate) { e.gates.Store(&gs) }
+
+// resolveOverload returns the admission config for one ring: the
+// engine-wide override when set, else the plan's OVERLOAD hint, else
+// drop-tail defaults. The seed is perturbed per ring (node and ring
+// label) so replicated rings draw independent but reproducible admission
+// schedules.
+func (e *Engine) resolveOverload(plan *gsql.Plan, node, ringLbl string) overload.Config {
+	var cfg overload.Config
+	if e.olSet {
+		cfg = e.olCfg
+	} else if plan != nil && plan.Overload != "" {
+		// The parser only stores canonical names, so a parse error here is
+		// a hand-built Plan; fall through to drop-tail in that case.
+		if p, err := overload.ParsePolicy(plan.Overload); err == nil {
+			cfg.Policy = p
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{'/'})
+	h.Write([]byte(ringLbl))
+	cfg.Seed ^= h.Sum64()
+	return cfg
+}
+
+// sourcePlan picks the plan whose OVERLOAD hint governs Run's shared
+// source ring: the first low-level node carrying one (the ring feeds all
+// of them; SetOverload trumps this in resolveOverload).
+func (e *Engine) sourcePlan() *gsql.Plan {
+	for _, n := range e.low {
+		if n.plan.Overload != "" {
+			return n.plan
+		}
+	}
+	for _, n := range e.lowPartial {
+		if n.plan.Overload != "" {
+			return n.plan
+		}
+	}
+	return nil
+}
+
+// overloadMetrics caches one gate's gauge handles (labels: node, ring).
+type overloadMetrics struct {
+	state, admitP                    *telemetry.Gauge
+	offered, admitted, shed, dropped *telemetry.Gauge
+}
+
+// ringGate pairs one ring with its admission controller. All methods
+// except sync-published reads belong to the producer goroutine owning the
+// ring.
+type ringGate struct {
+	ctrl    *overload.Controller
+	ring    *ringbuf.Ring[trace.Packet]
+	policy  overload.Policy
+	timeout time.Duration
+	node    string
+	ringLbl string
+	m       *overloadMetrics
+}
+
+// newGate builds the gate for one ring, wiring metrics and the
+// overload_state transition event when telemetry is attached.
+func (e *Engine) newGate(cfg overload.Config, ring *ringbuf.Ring[trace.Packet], node, ringLbl string) *ringGate {
+	ctrl := overload.NewController(cfg)
+	eff := ctrl.Config()
+	g := &ringGate{
+		ctrl:    ctrl,
+		ring:    ring,
+		policy:  eff.Policy,
+		timeout: eff.BlockTimeout,
+		node:    node,
+		ringLbl: ringLbl,
+	}
+	if tel := e.tel; tel != nil {
+		r := tel.Registry()
+		g.m = &overloadMetrics{
+			state:    r.GaugeVec("streamop_overload_state", "overload state machine: 0 normal, 1 shedding, 2 saturated", "node", "ring").With(node, ringLbl),
+			admitP:   r.GaugeVec("streamop_overload_admit_probability", "live shed-sample admit probability (1 under other policies)", "node", "ring").With(node, ringLbl),
+			offered:  r.GaugeVec("streamop_overload_offered", "packets offered to the ring's admission gate", "node", "ring").With(node, ringLbl),
+			admitted: r.GaugeVec("streamop_overload_admitted", "packets admitted toward the ring", "node", "ring").With(node, ringLbl),
+			shed:     r.GaugeVec("streamop_overload_shed", "packets rejected by the shed-sample gate ahead of the ring", "node", "ring").With(node, ringLbl),
+			dropped:  r.GaugeVec("streamop_overload_dropped", "admitted packets rejected at the ring (full ring or block timeout)", "node", "ring").With(node, ringLbl),
+		}
+		if tel.EventsEnabled() {
+			ctrl.OnTransition(func(from, to overload.State, occ int, p float64) {
+				tel.Emit("overload_state", map[string]any{
+					"node": node, "ring": ringLbl,
+					"from": from.String(), "to": to.String(),
+					"ring_occupancy": occ, "admit_probability": p,
+				})
+			})
+		}
+	}
+	return g
+}
+
+// offer admits and pushes one packet under the gate's policy (paced
+// RunParallel's per-packet path). Drop-tail stays the ring's native
+// push-or-drop; shed-sample runs the admission draw first; block waits up
+// to the timeout for ring space before declaring the drop. The gate's
+// ring is SPSC with this goroutine as the only producer, so observing
+// Len() < Cap() guarantees the subsequent push succeeds.
+func (g *ringGate) offer(p trace.Packet) {
+	switch g.policy {
+	case overload.ShedSample:
+		if !g.ctrl.Admit(g.ring.Len(), g.ring.Cap()) {
+			return
+		}
+		if !g.ring.Push(p) {
+			g.ctrl.NoteDrop(1)
+		}
+	case overload.Block:
+		g.ctrl.Admit(g.ring.Len(), g.ring.Cap())
+		if g.ring.Len() < g.ring.Cap() {
+			g.ring.Push(p)
+			return
+		}
+		deadline := time.Now().Add(g.timeout)
+		for {
+			runtime.Gosched()
+			if g.ring.Len() < g.ring.Cap() {
+				g.ring.Push(p)
+				return
+			}
+			if time.Now().After(deadline) {
+				g.ring.AddDrops(1)
+				g.ctrl.NoteDrop(1)
+				return
+			}
+		}
+	default:
+		g.ring.Push(p)
+	}
+}
+
+// offerBatch admits and pushes a routed batch under the gate's policy
+// (the shard router's flush path). The drop-tail arm is byte-for-byte the
+// pre-gate behavior: one PushBatch, remainder dropped and counted.
+func (g *ringGate) offerBatch(buf []trace.Packet) {
+	switch g.policy {
+	case overload.ShedSample:
+		kept := buf[:0]
+		for _, p := range buf {
+			if g.ctrl.Admit(g.ring.Len(), g.ring.Cap()) {
+				kept = append(kept, p)
+			}
+		}
+		n := g.ring.PushBatch(kept)
+		if n < len(kept) {
+			d := uint64(len(kept) - n)
+			g.ring.AddDrops(d)
+			g.ctrl.NoteDrop(d)
+		}
+	case overload.Block:
+		for range buf {
+			g.ctrl.Admit(g.ring.Len(), g.ring.Cap())
+		}
+		deadline := time.Now().Add(g.timeout)
+		for len(buf) > 0 {
+			n := g.ring.PushBatch(buf)
+			buf = buf[n:]
+			if len(buf) == 0 {
+				return
+			}
+			if n > 0 {
+				// Progress restarts the clock: the timeout bounds a stall,
+				// not the whole batch.
+				deadline = time.Now().Add(g.timeout)
+			}
+			if time.Now().After(deadline) {
+				d := uint64(len(buf))
+				g.ring.AddDrops(d)
+				g.ctrl.NoteDrop(d)
+				return
+			}
+			runtime.Gosched()
+		}
+	default:
+		n := g.ring.PushBatch(buf)
+		if n < len(buf) {
+			g.ring.AddDrops(uint64(len(buf) - n))
+		}
+	}
+}
+
+// sync reconciles drop-tail accounting from the ring's counters and
+// mirrors the controller into the streamop_overload_* gauges. Producer
+// goroutine, batch-boundary cadence — never per packet.
+func (g *ringGate) sync() {
+	if g.policy == overload.DropTail {
+		g.ctrl.ObserveRing(g.ring.Pushed(), g.ring.Drops(), g.ring.Len(), g.ring.Cap())
+	}
+	if m := g.m; m != nil {
+		m.state.Set(float64(g.ctrl.State()))
+		m.admitP.Set(g.ctrl.AdmitProbability())
+		m.offered.Set(float64(g.ctrl.Offered()))
+		m.admitted.Set(float64(g.ctrl.Admitted()))
+		m.shed.Set(float64(g.ctrl.Shed()))
+		m.dropped.Set(float64(g.ctrl.Dropped()))
+	}
+}
+
+// consumerDelay returns the injected slow-consumer delay, 0 when no
+// injector (or none configured) — one nil check on the hot path.
+func (e *Engine) consumerDelay() time.Duration {
+	if e.faults == nil {
+		return 0
+	}
+	return e.faults.ConsumerDelay
+}
+
+// gateRegistry is the engine-side gate state; embedded in Engine.
+type gateRegistry struct {
+	olCfg  overload.Config
+	olSet  bool
+	faults *overload.Faults
+	gates  atomic.Pointer[[]*ringGate]
+	// srcGate guards the shared source ring during Run.
+	srcGate *ringGate
+}

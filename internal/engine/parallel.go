@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,13 +23,14 @@ import (
 // speedup > 0 paces the producer by packet timestamps accelerated by that
 // factor (speedup 100 replays a 10-second capture in 100 ms). Under
 // pacing the producer never waits for consumers: a node that cannot keep
-// up with the offered rate overflows its ring and packets are DROPPED and
-// counted — exactly the line-rate failure mode the paper's low-level
-// queries exist to avoid. speedup <= 0 disables pacing; the producer then
-// applies backpressure (waits for ring space) so nothing drops, and
-// enforces window barriers on sharded nodes so their output is
-// window-monotone and final aggregates match Run exactly (the property
-// shard_test.go checks).
+// up with the offered rate overflows its ring, and what happens next is
+// the ring's admission policy (see overload.go) — drop-tail by default,
+// which drops and counts the overflow: exactly the line-rate failure mode
+// the paper's low-level queries exist to avoid. speedup <= 0 disables
+// pacing; the producer then applies backpressure (waits for ring space)
+// so nothing drops, and enforces window barriers on sharded nodes so
+// their output is window-monotone and final aggregates match Run exactly
+// (the property shard_test.go checks).
 //
 // Output ordering within one node is preserved for selection nodes; a
 // sharded partial node preserves window order (unpaced) but interleaves
@@ -39,19 +41,38 @@ import (
 // single-threaded and deterministic. Provenance tracing is ignored under
 // RunParallel (see tracing.go).
 func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
+	return e.RunParallelContext(context.Background(), feed, speedup)
+}
+
+// RunParallelContext is RunParallel with cancellation: when ctx is
+// cancelled the producer stops taking packets from the feed, every worker
+// drains its ring and flushes its open windows through the normal
+// end-of-stream shutdown, and the call returns ctx.Err() (unless a node
+// failure already produced a harder error).
+func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedup float64) error {
 	if len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
+	feed = e.faults.Wrap(feed)
 
 	// Private ring per low-level selection node, same capacity as the
-	// source ring.
+	// source ring. In paced mode each ring gets an admission gate; unpaced
+	// mode backpressures instead (block with no timeout, in effect) and
+	// runs ungated.
 	rings := make([]*ringbuf.Ring[trace.Packet], len(e.low))
-	for i := range rings {
+	var gates []*ringGate
+	if speedup > 0 {
+		gates = make([]*ringGate, len(e.low))
+	}
+	for i, low := range e.low {
 		r, err := ringbuf.New[trace.Packet](e.ring.Cap())
 		if err != nil {
 			return err
 		}
 		rings[i] = r
+		if gates != nil {
+			gates[i] = e.newGate(e.resolveOverload(low.plan, low.name, "0"), r, low.name, "0")
+		}
 	}
 	// Bounded channel per high-level node.
 	chans := make(map[*Node]chan tuple.Tuple, len(e.high))
@@ -61,6 +82,7 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 	// Sharded runtime per partial-aggregation node; unpaced runs get the
 	// exactness barrier, paced runs trade it for zero producer stalls.
 	sets := make([]*shardSet, len(e.lowPartial))
+	allGates := append([]*ringGate(nil), gates...)
 	for i, pn := range e.lowPartial {
 		s, err := e.newShardSet(pn, chans, speedup <= 0)
 		if err != nil {
@@ -68,7 +90,9 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 		}
 		sets[i] = s
 		pn.rt.Store(s)
+		allGates = append(allGates, s.gates...)
 	}
+	e.setGates(allGates)
 
 	nWorkers := len(e.low) + len(e.high)
 	for _, s := range sets {
@@ -88,6 +112,21 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 		defer close(producerDone)
 		startWall := time.Now()
 		scratch := make(tuple.Tuple, trace.NumFields)
+		ctxDone := ctx.Done()
+		cancelled := false
+		// checkCtx polls for cancellation; nil ctxDone (Background) keeps
+		// the poll off the packet loop entirely.
+		checkCtx := func() bool {
+			if ctxDone == nil || cancelled {
+				return cancelled
+			}
+			select {
+			case <-ctxDone:
+				cancelled = true
+			default:
+			}
+			return cancelled
+		}
 		// Batched transfer into the selection rings (unpaced mode): one
 		// tail publication per slice instead of per packet.
 		lowBatch := make([]trace.Packet, 0, shardBatch)
@@ -104,7 +143,7 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 			}
 			lowBatch = lowBatch[:0]
 		}
-		for {
+		for !checkCtx() {
 			p, ok := feed.Next()
 			if !ok {
 				break
@@ -116,14 +155,17 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 			e.lastTS = p.Time
 			e.packets++
 			if speedup > 0 {
-				// Pace to the accelerated capture clock, then offer
-				// once: a full ring is a dropped packet.
+				// Pace to the accelerated capture clock, then offer once:
+				// the gate's policy decides what a full ring costs.
 				target := time.Duration(float64(p.Time-e.firstTS) / speedup)
-				for time.Since(startWall) < target {
+				for time.Since(startWall) < target && !checkCtx() {
 					runtime.Gosched()
 				}
-				for _, r := range rings {
-					r.Push(p)
+				if cancelled {
+					break
+				}
+				for _, g := range gates {
+					g.offer(p)
 				}
 			} else {
 				lowBatch = append(lowBatch, p)
@@ -143,10 +185,18 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 					}
 				}
 			}
+			if len(allGates) > 0 && e.packets%512 == 0 {
+				for _, g := range allGates {
+					g.sync()
+				}
+			}
 		}
 		flushLow()
 		for _, s := range sets {
 			s.flushAll()
+		}
+		for _, g := range allGates {
+			g.sync()
 		}
 	}()
 
@@ -172,6 +222,9 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 						runtime.Gosched()
 					}
 					continue
+				}
+				if d := e.consumerDelay(); d > 0 {
+					time.Sleep(d)
 				}
 				start := time.Now()
 				for j := 0; j < n; j++ {
@@ -253,7 +306,7 @@ func (e *Engine) RunParallel(feed trace.Feed, speedup float64) error {
 	case err := <-errs:
 		return err
 	default:
-		return nil
+		return ctx.Err()
 	}
 }
 

@@ -60,8 +60,8 @@ const shardBatch = 256
 
 // shardMetrics caches one shard's gauge handles (labels: node, shard).
 type shardMetrics struct {
-	in, busy, evictions  *telemetry.Gauge
-	ringOcc, ringDrops   *telemetry.Gauge
+	in, busy, evictions *telemetry.Gauge
+	ringOcc, ringDrops  *telemetry.Gauge
 }
 
 // shardWorker is one replica of a partial-aggregation node: a goroutine
@@ -168,6 +168,9 @@ func (w *shardWorker) run(producerDone <-chan struct{}, reportErr func(error)) {
 			}
 			continue
 		}
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
 		if w.failed {
 			// Drain mode: keep the barrier and backpressure accounting
 			// moving without touching the (dead) table.
@@ -245,6 +248,12 @@ type shardSet struct {
 	// and backpressure instead of drops.
 	barrier bool
 
+	// gates guard the shard rings in paced mode (one per worker, indexed
+	// like workers); nil in barrier mode, which backpressures instead.
+	gates []*ringGate
+	// delay is the injected slow-consumer delay applied per popped batch.
+	delay time.Duration
+
 	// routeFailed marks a set whose router hit an evaluation error; the
 	// producer stops routing to it (the error is already reported).
 	routeFailed bool
@@ -273,6 +282,11 @@ func (e *Engine) newShardSet(pn *PartialNode, chans map[*Node]chan tuple.Tuple, 
 	if barrier {
 		s.batchN = shardBatch
 	}
+	s.delay = e.consumerDelay()
+	ringCap := shardRingCap
+	if e.shardCap > 0 {
+		ringCap = e.shardCap
+	}
 	size := len(pn.table.slots)
 	stripe := (size + n - 1) / n // upper bound on slots per shard
 	for i := 0; i < n; i++ {
@@ -280,11 +294,14 @@ func (e *Engine) newShardSet(pn *PartialNode, chans map[*Node]chan tuple.Tuple, 
 		if err != nil {
 			return nil, fmt.Errorf("engine: node %q: cloning shard plan: %w", pn.name, err)
 		}
-		ring, err := ringbuf.New[trace.Packet](shardRingCap)
+		ring, err := ringbuf.New[trace.Packet](ringCap)
 		if err != nil {
 			return nil, err
 		}
 		w := &shardWorker{id: i, set: s, ring: ring}
+		if !barrier {
+			s.gates = append(s.gates, e.newGate(e.resolveOverload(pn.plan, pn.name, strconv.Itoa(i)), ring, pn.name, strconv.Itoa(i)))
+		}
 		w.table = newPtable(pn.name, wplan, stripe, s.mask, uint64(n), w.emit)
 		if e.tel != nil {
 			r := e.tel.Registry()
@@ -349,7 +366,8 @@ func (s *shardSet) routerChanged() bool {
 }
 
 // flushPend pushes shard i's buffered packets into its ring: backpressure
-// in barrier (unpaced) mode, drop-and-count otherwise.
+// in barrier (unpaced) mode, the shard gate's admission policy otherwise
+// (drop-tail drops and counts the overflow, matching the ungated code).
 func (s *shardSet) flushPend(i int) {
 	buf := s.pend[i]
 	ring := s.workers[i].ring
@@ -362,10 +380,7 @@ func (s *shardSet) flushPend(i int) {
 			}
 		}
 	} else {
-		n := ring.PushBatch(buf)
-		if n < len(buf) {
-			ring.AddDrops(uint64(len(buf) - n))
-		}
+		s.gates[i].offerBatch(buf)
 	}
 	s.pend[i] = s.pend[i][:0]
 }

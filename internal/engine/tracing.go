@@ -45,23 +45,6 @@ func (n *Node) attachTracer(tr *tracing.Tracer) {
 	}
 }
 
-// pushTraced is Run's producer step when a tracer is attached: offer the
-// packet's sequence number to the sampling schedule and account the ring
-// outcome for a selected packet.
-func (e *Engine) pushTraced(p trace.Packet) {
-	tt := e.tr.SourceOffer(uint64(e.packets - 1))
-	if tt == nil {
-		e.ring.Push(p)
-		return
-	}
-	idx := e.ring.Pushed()
-	if e.ring.Push(p) {
-		e.tr.SourceEnqueued(tt, idx, e.ring.Len())
-	} else {
-		e.tr.SourceDropped(tt, e.ring.Len())
-	}
-}
-
 // processLowBatch feeds one popped batch through a low-level node. matches
 // (non-nil only for the node that carries tracing — the first low-level
 // node) holds the traced packets of this batch in FIFO order. The batch is

@@ -122,7 +122,7 @@ func Accuracy(cfg AccuracyConfig) ([]AccuracyPoint, error) {
 			return err
 		}
 		record(prevWindow)
-		for _, row := range q.Rows {
+		for _, row := range q.Collected {
 			w := int(row.Values[0].AsInt())
 			if w >= len(points) {
 				continue

@@ -60,7 +60,7 @@ func Overhead(seed uint64, duration float64, n int) (OverheadResult, error) {
 	opNS := float64(time.Since(start).Nanoseconds())
 
 	var opEst float64
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		opEst += row.Values[4].AsFloat()
 	}
 

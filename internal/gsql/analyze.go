@@ -102,6 +102,11 @@ type Plan struct {
 	// should fan out into under RunParallel.
 	Shards int
 
+	// Overload carries the query's OVERLOAD clause ("" = unspecified): the
+	// admission policy the engine applies at this query's ring buffers,
+	// in canonical form ("drop-tail", "shed-sample" or "block").
+	Overload string
+
 	// reg is the registry the plan was analyzed against, retained so
 	// Clone can recompile the same query for another executor.
 	reg *sfun.Registry
@@ -160,7 +165,7 @@ func Analyze(q *Query, schema *tuple.Schema, reg *sfun.Registry) (*Plan, error) 
 		return nil, fmt.Errorf("gsql: query reads from %q but schema is %q", q.From, schema.Name())
 	}
 	b := &binder{
-		plan:     &Plan{Query: q, Schema: schema, Shards: q.Shards, reg: reg},
+		plan:     &Plan{Query: q, Schema: schema, Shards: q.Shards, Overload: q.Overload, reg: reg},
 		reg:      reg,
 		schema:   schema,
 		stateIdx: map[string]int{},

@@ -135,6 +135,10 @@ type Query struct {
 	// Shards is the SHARDS clause's worker-count hint for parallel
 	// low-level execution; 0 means unspecified (runtime default).
 	Shards int
+	// Overload is the OVERLOAD clause's admission-policy hint in canonical
+	// form ("drop-tail", "shed-sample" or "block"); "" means unspecified
+	// (runtime default).
+	Overload string
 }
 
 // String renders the query in re-parseable form.
@@ -188,6 +192,9 @@ func (q *Query) String() string {
 	}
 	if q.Shards > 0 {
 		fmt.Fprintf(&b, "\nSHARDS %d", q.Shards)
+	}
+	if q.Overload != "" {
+		fmt.Fprintf(&b, "\nOVERLOAD %s", q.Overload)
 	}
 	return b.String()
 }

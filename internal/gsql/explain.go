@@ -77,6 +77,9 @@ func (p *Plan) Describe() string {
 	if p.Shards > 0 {
 		fmt.Fprintf(&b, "  shards:          %d (parallel low-level partial-aggregation hint)\n", p.Shards)
 	}
+	if p.Overload != "" {
+		fmt.Fprintf(&b, "  overload:        %s (ring admission policy)\n", p.Overload)
+	}
 	fmt.Fprintf(&b, "  output columns:  %s\n", strings.Join(p.SelectNames, ", "))
 	return b.String()
 }

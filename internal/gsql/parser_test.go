@@ -247,6 +247,71 @@ func TestParseShards(t *testing.T) {
 	}
 }
 
+func TestParseOverload(t *testing.T) {
+	// Every accepted spelling normalizes to the canonical dashed form.
+	for src, want := range map[string]string{
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb OVERLOAD shed-sample": "shed-sample",
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb OVERLOAD SHED_SAMPLE": "shed-sample",
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb OVERLOAD drop-tail":   "drop-tail",
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb OVERLOAD droptail":    "drop-tail",
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb OVERLOAD block":       "block",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if q.Overload != want {
+			t.Errorf("Parse(%q).Overload = %q, want %q", src, q.Overload, want)
+		}
+		// Round trip: the clause must survive print -> reparse.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse of %q: %v", q.String(), err)
+			continue
+		}
+		if q2.Overload != want {
+			t.Errorf("reparsed Overload = %q, want %q", q2.Overload, want)
+		}
+	}
+
+	// SHARDS and OVERLOAD combine in either order.
+	for _, src := range []string{
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb SHARDS 4 OVERLOAD block",
+		"SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb OVERLOAD block SHARDS 4",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if q.Shards != 4 || q.Overload != "block" {
+			t.Errorf("Parse(%q): Shards=%d Overload=%q", src, q.Shards, q.Overload)
+		}
+	}
+
+	// Absent clause leaves the hint unset.
+	q, err := Parse("SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Overload != "" {
+		t.Errorf("Overload = %q, want empty when unspecified", q.Overload)
+	}
+
+	for _, bad := range []string{
+		"SELECT x FROM S OVERLOAD",
+		"SELECT x FROM S OVERLOAD 4",
+		"SELECT x FROM S OVERLOAD tail-drop",
+		"SELECT x FROM S OVERLOAD drop-",
+		"SELECT x FROM S OVERLOAD block OVERLOAD block",
+		"SELECT x FROM S SHARDS 2 SHARDS 2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
 func TestLexerErrors(t *testing.T) {
 	for _, src := range []string{"SELECT #", "SELECT x FROM S WHERE a ! b"} {
 		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "gsql:") {

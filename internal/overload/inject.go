@@ -1,0 +1,251 @@
+package overload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"streamop/internal/trace"
+	"streamop/internal/xrand"
+)
+
+// Fault injection: deterministic, seeded injectors that wrap any
+// trace.Feed to manufacture the overload scenarios the admission policies
+// exist for — so chaos tests (and gsq -inject) can prove drop/shed
+// accounting exact and the paced/parallel paths deadlock-free without
+// depending on a machine actually being overloaded.
+//
+// Injector catalog (spec grammar in ParseFaults):
+//
+//	drop[:prob]        drop each packet with probability prob before it
+//	                   reaches the engine (a lossy tap; default 0.01).
+//	burst[:n[@period]] every period simulated seconds, collapse the next n
+//	                   packets onto one timestamp. Under pacing the producer
+//	                   then offers them back to back at line rate — a
+//	                   manufactured traffic burst (default 256 @ 0.5s).
+//	stall[:dur[@period]] every period simulated seconds, stall the feed for
+//	                   dur of wall-clock time: consumers starve, and a paced
+//	                   producer falls behind schedule and slams the backlog
+//	                   on resume (default 1ms @ 0.25s).
+//	slow[:dur]         slow-consumer fault: every consumer batch pays an
+//	                   extra dur of wall-clock delay, so rings fill and the
+//	                   admission policies engage (default 20µs). Applied by
+//	                   the engine, not the feed wrapper.
+//
+// All randomness comes from the shared seed, so two runs with equal seeds
+// drop the same packets and burst at the same instants.
+
+// Default injector parameters.
+const (
+	DefDropProb    = 0.01
+	DefBurstLen    = 256
+	DefBurstPeriod = 0.5 // simulated seconds
+	DefStallPeriod = 0.25
+	DefStall       = time.Millisecond
+	DefSlow        = 20 * time.Microsecond
+)
+
+// Faults is a parsed set of fault injectors plus their live counters.
+// Wrap applies the feed-side injectors; ConsumerDelay is the engine-side
+// slow-consumer fault. Counters are safe from any goroutine.
+type Faults struct {
+	seed uint64
+
+	dropProb    float64
+	burstLen    int
+	burstPeriod uint64 // simulated ns; 0 = disabled
+	stallDur    time.Duration
+	stallPeriod uint64 // simulated ns; 0 = disabled
+
+	// ConsumerDelay is the per-batch wall-clock delay every ring consumer
+	// pays (the slow-consumer injector); 0 = disabled.
+	ConsumerDelay time.Duration
+
+	dropped atomic.Uint64
+	bursts  atomic.Uint64
+	stalls  atomic.Uint64
+}
+
+// ParseFaults parses a comma-separated injector spec, e.g.
+//
+//	"burst,stall"
+//	"drop:0.1,burst:512@0.25,stall:2ms@0.5,slow:50us"
+//
+// Each item is kind[:arg]; see the injector catalog above. An empty spec
+// returns nil (no faults).
+func ParseFaults(spec string, seed uint64) (*Faults, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	f := &Faults{seed: seed}
+	for _, item := range strings.Split(spec, ",") {
+		kind, arg, _ := strings.Cut(strings.TrimSpace(item), ":")
+		var err error
+		switch strings.ToLower(kind) {
+		case "drop":
+			f.dropProb = DefDropProb
+			if arg != "" {
+				if f.dropProb, err = strconv.ParseFloat(arg, 64); err != nil || f.dropProb <= 0 || f.dropProb >= 1 {
+					return nil, fmt.Errorf("overload: drop wants a probability in (0,1), got %q", arg)
+				}
+			}
+		case "burst":
+			f.burstLen, f.burstPeriod = DefBurstLen, uint64(DefBurstPeriod*1e9)
+			if arg != "" {
+				lenStr, periodStr, hasPeriod := strings.Cut(arg, "@")
+				if lenStr != "" {
+					if f.burstLen, err = strconv.Atoi(lenStr); err != nil || f.burstLen < 2 {
+						return nil, fmt.Errorf("overload: burst wants a length >= 2, got %q", lenStr)
+					}
+				}
+				if hasPeriod {
+					p, err := strconv.ParseFloat(periodStr, 64)
+					if err != nil || p <= 0 {
+						return nil, fmt.Errorf("overload: burst wants a positive period in seconds, got %q", periodStr)
+					}
+					f.burstPeriod = uint64(p * 1e9)
+				}
+			}
+		case "stall":
+			f.stallDur, f.stallPeriod = DefStall, uint64(DefStallPeriod*1e9)
+			if arg != "" {
+				durStr, periodStr, hasPeriod := strings.Cut(arg, "@")
+				if durStr != "" {
+					if f.stallDur, err = time.ParseDuration(durStr); err != nil || f.stallDur <= 0 {
+						return nil, fmt.Errorf("overload: stall wants a positive duration, got %q", durStr)
+					}
+				}
+				if hasPeriod {
+					p, err := strconv.ParseFloat(periodStr, 64)
+					if err != nil || p <= 0 {
+						return nil, fmt.Errorf("overload: stall wants a positive period in seconds, got %q", periodStr)
+					}
+					f.stallPeriod = uint64(p * 1e9)
+				}
+			}
+		case "slow":
+			f.ConsumerDelay = DefSlow
+			if arg != "" {
+				if f.ConsumerDelay, err = time.ParseDuration(arg); err != nil || f.ConsumerDelay <= 0 {
+					return nil, fmt.Errorf("overload: slow wants a positive duration, got %q", arg)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("overload: unknown injector %q (want drop, burst, stall or slow)", kind)
+		}
+	}
+	return f, nil
+}
+
+// String renders the active injectors for diagnostics.
+func (f *Faults) String() string {
+	if f == nil {
+		return "none"
+	}
+	var parts []string
+	if f.dropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop:%g", f.dropProb))
+	}
+	if f.burstPeriod > 0 {
+		parts = append(parts, fmt.Sprintf("burst:%d@%gs", f.burstLen, float64(f.burstPeriod)/1e9))
+	}
+	if f.stallPeriod > 0 {
+		parts = append(parts, fmt.Sprintf("stall:%s@%gs", f.stallDur, float64(f.stallPeriod)/1e9))
+	}
+	if f.ConsumerDelay > 0 {
+		parts = append(parts, fmt.Sprintf("slow:%s", f.ConsumerDelay))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Dropped returns packets the drop injector removed from the feed.
+func (f *Faults) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
+}
+
+// Bursts returns the number of bursts manufactured so far.
+func (f *Faults) Bursts() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.bursts.Load()
+}
+
+// Stalls returns the number of feed stalls injected so far.
+func (f *Faults) Stalls() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.stalls.Load()
+}
+
+// Wrap applies the feed-side injectors to feed. A nil Faults (or one with
+// only the slow-consumer fault) returns feed unchanged. The wrapper owns a
+// private deterministic RNG, so wrapping is repeatable per seed.
+func (f *Faults) Wrap(feed trace.Feed) trace.Feed {
+	if f == nil || (f.dropProb == 0 && f.burstPeriod == 0 && f.stallPeriod == 0) {
+		return feed
+	}
+	return &faultFeed{f: f, inner: feed, rng: xrand.New(f.seed ^ 0xd1342543de82ef95)}
+}
+
+// faultFeed is the feed wrapper applying drop, burst and stall in order.
+type faultFeed struct {
+	f     *Faults
+	inner trace.Feed
+	rng   *xrand.Rand
+
+	started   bool
+	nextBurst uint64 // simulated ns of the next burst start
+	burstLeft int
+	burstTS   uint64
+	nextStall uint64
+}
+
+// Next implements trace.Feed. Timestamps stay non-decreasing: burst
+// packets are clamped down to the burst start, and every later packet's
+// natural timestamp is at least that.
+func (ff *faultFeed) Next() (trace.Packet, bool) {
+	f := ff.f
+	for {
+		p, ok := ff.inner.Next()
+		if !ok {
+			return trace.Packet{}, false
+		}
+		if !ff.started {
+			ff.started = true
+			ff.nextBurst = p.Time + f.burstPeriod
+			ff.nextStall = p.Time + f.stallPeriod
+		}
+		if f.dropProb > 0 && ff.rng.Float64() < f.dropProb {
+			f.dropped.Add(1)
+			continue
+		}
+		if f.stallPeriod > 0 && p.Time >= ff.nextStall {
+			time.Sleep(f.stallDur)
+			f.stalls.Add(1)
+			ff.nextStall = p.Time + f.stallPeriod
+		}
+		if f.burstPeriod > 0 {
+			if ff.burstLeft > 0 {
+				ff.burstLeft--
+				p.Time = ff.burstTS
+			} else if p.Time >= ff.nextBurst {
+				f.bursts.Add(1)
+				ff.burstTS = p.Time
+				ff.burstLeft = f.burstLen - 1
+				ff.nextBurst = p.Time + f.burstPeriod
+			}
+		}
+		return p, true
+	}
+}

@@ -1,0 +1,156 @@
+package overload
+
+import (
+	"testing"
+	"time"
+
+	"streamop/internal/trace"
+)
+
+func testFeed(t *testing.T, seconds float64) trace.Feed {
+	t.Helper()
+	f, err := trace.NewSteady(trace.DefaultSteady(1, seconds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseFaults(t *testing.T) {
+	f, err := ParseFaults("drop:0.1,burst:512@0.25,stall:2ms@0.5,slow:50us", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.dropProb != 0.1 || f.burstLen != 512 || f.burstPeriod != uint64(0.25*1e9) ||
+		f.stallDur != 2*time.Millisecond || f.stallPeriod != uint64(0.5*1e9) ||
+		f.ConsumerDelay != 50*time.Microsecond {
+		t.Errorf("parsed faults wrong: %+v", f)
+	}
+
+	// Bare kinds pick up defaults.
+	f, err = ParseFaults("burst,stall", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.burstLen != DefBurstLen || f.stallDur != DefStall {
+		t.Errorf("defaults not applied: %+v", f)
+	}
+
+	// Empty spec means no faults.
+	if f, err := ParseFaults("  ", 1); err != nil || f != nil {
+		t.Errorf("empty spec: got %v, %v", f, err)
+	}
+
+	for _, bad := range []string{
+		"nope", "drop:2", "drop:x", "burst:1", "burst:8@-1",
+		"stall:-2ms", "stall:1ms@x", "slow:banana",
+	} {
+		if _, err := ParseFaults(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestDropInjectorDeterministicAndCounted(t *testing.T) {
+	count := func() (kept int, dropped uint64) {
+		f, err := ParseFaults("drop:0.2", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed := f.Wrap(testFeed(t, 0.2))
+		for {
+			if _, ok := feed.Next(); !ok {
+				break
+			}
+			kept++
+		}
+		return kept, f.Dropped()
+	}
+	k1, d1 := count()
+	k2, d2 := count()
+	if k1 != k2 || d1 != d2 {
+		t.Fatalf("equal seeds diverged: (%d,%d) vs (%d,%d)", k1, d1, k2, d2)
+	}
+	total := len(trace.Collect(testFeed(t, 0.2)))
+	if k1+int(d1) != total {
+		t.Errorf("kept %d + dropped %d != offered %d", k1, d1, total)
+	}
+	if d1 == 0 {
+		t.Error("drop injector dropped nothing")
+	}
+}
+
+func TestBurstInjectorCompressesTimestamps(t *testing.T) {
+	f, err := ParseFaults("burst:64@0.05", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := f.Wrap(testFeed(t, 0.3))
+	var prev uint64
+	sameTS := 0
+	for {
+		p, ok := feed.Next()
+		if !ok {
+			break
+		}
+		if p.Time < prev {
+			t.Fatalf("timestamps regressed: %d after %d", p.Time, prev)
+		}
+		if p.Time == prev {
+			sameTS++
+		}
+		prev = p.Time
+	}
+	if f.Bursts() == 0 {
+		t.Fatal("no bursts manufactured")
+	}
+	// Each burst collapses 64 packets onto one timestamp: at least
+	// bursts*(len-1) pairs share a timestamp.
+	if want := int(f.Bursts()) * 63; sameTS < want {
+		t.Errorf("shared-timestamp pairs = %d, want >= %d", sameTS, want)
+	}
+}
+
+func TestStallInjectorCountsAndPreservesPackets(t *testing.T) {
+	f, err := ParseFaults("stall:1ms@0.05", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := f.Wrap(testFeed(t, 0.3))
+	n := 0
+	start := time.Now()
+	for {
+		if _, ok := feed.Next(); !ok {
+			break
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	if f.Stalls() == 0 {
+		t.Fatal("no stalls injected")
+	}
+	if total := len(trace.Collect(testFeed(t, 0.3))); n != total {
+		t.Errorf("stall lost packets: %d != %d", n, total)
+	}
+	if elapsed < time.Duration(f.Stalls())*time.Millisecond {
+		t.Errorf("elapsed %v shorter than %d injected 1ms stalls", elapsed, f.Stalls())
+	}
+}
+
+func TestSlowOnlyFaultsDontWrap(t *testing.T) {
+	f, err := ParseFaults("slow:1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := testFeed(t, 0.01)
+	if got := f.Wrap(inner); got != inner {
+		t.Error("slow-only faults wrapped the feed")
+	}
+	var nilF *Faults
+	if got := nilF.Wrap(inner); got != inner {
+		t.Error("nil faults wrapped the feed")
+	}
+	if nilF.String() != "none" || nilF.Dropped() != 0 {
+		t.Error("nil faults accessors not nil-safe")
+	}
+}

@@ -18,7 +18,7 @@ import (
 // benchmark never builds a handler).
 
 type debugSources struct {
-	mu   sync.Mutex
+	mu     sync.Mutex
 	byKind map[string]map[string]func() any
 }
 

@@ -19,6 +19,8 @@
 //	having_rejected      the window-close HAVING dropped its group
 //	evicted(cleaning=k)  cleaning phase k evicted its group
 //	ring_dropped         the source ring was full
+//	shed                 the overload admission gate rejected the packet
+//	                     ahead of the ring (internal/overload shed-sample)
 //	stream_end           (defensive; should not occur under Engine.Run)
 //
 // Spans are exported two ways: streamed through an attached
@@ -184,6 +186,16 @@ func (t *Tracer) SourceDropped(tt *TupleTrace, occ int) {
 		"seq": tt.seq, "ring_occupancy": occ,
 	})
 	tt.Finish("ring_dropped")
+}
+
+// SourceShed finishes a traced packet rejected ahead of the ring by the
+// overload admission gate (shed-sample): the packet never reached the
+// ring, so the shed disposition is terminal at the source stage.
+func (t *Tracer) SourceShed(tt *TupleTrace, occ int) {
+	t.record(tt, "shed", "source", time.Now(), 0, map[string]any{
+		"seq": tt.seq, "ring_occupancy": occ,
+	})
+	tt.Finish("shed")
 }
 
 // SourceMatch pairs a traced tuple with its offset inside a popped batch.

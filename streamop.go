@@ -16,7 +16,13 @@
 //	    CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
 //	    CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{})
 //	...
-//	err = q.RunFeed(feed)   // q.Rows now holds ~1000 samples per window
+//	err = q.RunFeed(feed)   // q.Collected now holds ~1000 samples per window
+//
+// or, streaming instead of collecting:
+//
+//	q.SetFeed(feed)
+//	for row := range q.Rows() { ... }   // rows arrive as windows close
+//	err = q.Err()
 //
 // Queries use the GSQL dialect extended with the paper's SUPERGROUP,
 // CLEANING WHEN and CLEANING BY clauses, superaggregates such as
@@ -40,6 +46,7 @@ import (
 	"streamop/internal/engine"
 	"streamop/internal/flow"
 	"streamop/internal/gsql"
+	"streamop/internal/overload"
 	"streamop/internal/sample/quantile"
 	"streamop/internal/sfun"
 	"streamop/internal/sfunlib"
@@ -130,6 +137,43 @@ type NodeStats = engine.NodeStats
 // NewEngine returns an engine whose source ring buffer holds ringSize
 // packets.
 func NewEngine(ringSize int) (*Engine, error) { return engine.New(ringSize) }
+
+// Overload control and fault injection (see docs/ROBUSTNESS.md).
+
+// OverloadPolicy selects how a producer treats a ring buffer under
+// pressure: drop-tail (the default), shed-sample (adaptive probabilistic
+// admission) or block (bounded backpressure).
+type OverloadPolicy = overload.Policy
+
+// Overload policies.
+const (
+	DropTail   = overload.DropTail
+	ShedSample = overload.ShedSample
+	Block      = overload.Block
+)
+
+// OverloadConfig parameterizes a ring's admission controller; the zero
+// value is drop-tail with default thresholds. Apply with
+// Engine.SetOverload, a query's OVERLOAD clause, or Options.Overload.
+type OverloadConfig = overload.Config
+
+// OverloadSnapshot is one ring admission controller's observable state,
+// as returned by Engine.Overload.
+type OverloadSnapshot = overload.Snapshot
+
+// ParseOverloadPolicy parses a policy name ("drop-tail", "shed-sample",
+// "block"; dashes and underscores interchangeable).
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) { return overload.ParsePolicy(s) }
+
+// Faults is a deterministic fault-injector set wrapping a packet feed
+// (seeded packet drops, timestamp bursts, producer stalls, slow
+// consumers). Attach with Engine.SetFaults or wrap a feed directly.
+type Faults = overload.Faults
+
+// ParseFaults parses an injector spec such as
+// "drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us"; an empty spec
+// returns nil (no injection).
+func ParseFaults(spec string, seed uint64) (*Faults, error) { return overload.ParseFaults(spec, seed) }
 
 // PartialNode is a low-level partial-aggregation node: a fixed-size
 // direct-mapped group table that emits the resident group on collision —

@@ -42,11 +42,11 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`, streamop.Options{Seed: 1})
 	if err := q.RunFeed(feed); err != nil {
 		t.Fatal(err)
 	}
-	if len(q.Rows) == 0 || len(q.Rows) > 500 {
-		t.Fatalf("rows = %d", len(q.Rows))
+	if len(q.Collected) == 0 || len(q.Collected) > 500 {
+		t.Fatalf("rows = %d", len(q.Collected))
 	}
 	var est float64
-	for _, row := range q.Rows {
+	for _, row := range q.Collected {
 		v, ok := row.Get("adjlen")
 		if !ok {
 			t.Fatal("adjlen column missing")
@@ -70,14 +70,14 @@ func TestPublicRowGet(t *testing.T) {
 	if err := q.ProcessPacket(streamop.Packet{Time: 5, Len: 99}); err != nil {
 		t.Fatal(err)
 	}
-	if len(q.Rows) != 1 {
-		t.Fatalf("rows = %d", len(q.Rows))
+	if len(q.Collected) != 1 {
+		t.Fatalf("rows = %d", len(q.Collected))
 	}
-	v, ok := q.Rows[0].Get("len")
+	v, ok := q.Collected[0].Get("len")
 	if !ok || v.String() != "99" {
 		t.Errorf("Get(len) = %v, %v", v, ok)
 	}
-	if _, ok := q.Rows[0].Get("nope"); ok {
+	if _, ok := q.Collected[0].Get("nope"); ok {
 		t.Error("Get(nope) ok")
 	}
 }
@@ -116,8 +116,8 @@ func TestPublicCustomRegistry(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(q.Rows) != 5 {
-		t.Errorf("custom sfun admitted %d of 10", len(q.Rows))
+	if len(q.Collected) != 5 {
+		t.Errorf("custom sfun admitted %d of 10", len(q.Collected))
 	}
 }
 
