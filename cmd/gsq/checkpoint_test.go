@@ -1,0 +1,216 @@
+package main
+
+import (
+	"os"
+	"os/signal"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// guardSigterm keeps SIGTERM handled for the duration of a test so a
+// self-sent signal that lands outside run()'s NotifyContext window can
+// never kill the test process.
+func guardSigterm(t *testing.T) {
+	t.Helper()
+	ch := make(chan os.Signal, 4)
+	signal.Notify(ch, syscall.SIGTERM)
+	t.Cleanup(func() { signal.Stop(ch) })
+}
+
+// runCaptured invokes run(cfg) with stdout/stderr redirected to files and
+// returns their contents. If killAtBytes > 0 a watcher goroutine sends
+// SIGTERM to the process once run has printed at least that many bytes of
+// output — a mid-run self-kill at a point where rows are demonstrably
+// flowing. The watcher is joined before returning so a late signal can
+// never leak into a later run.
+func runCaptured(t *testing.T, cfg config, killAtBytes int64) (stdout, stderr string, err error) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, e := os.Create(filepath.Join(dir, "stdout"))
+	if e != nil {
+		t.Fatal(e)
+	}
+	errF, e := os.Create(filepath.Join(dir, "stderr"))
+	if e != nil {
+		t.Fatal(e)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = outF, errF
+
+	done := make(chan struct{})
+	joined := make(chan struct{})
+	if killAtBytes > 0 {
+		go func() {
+			defer close(joined)
+			for {
+				select {
+				case <-done:
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+				st, serr := outF.Stat()
+				if serr == nil && st.Size() >= killAtBytes {
+					syscall.Kill(os.Getpid(), syscall.SIGTERM)
+					return
+				}
+			}
+		}()
+	} else {
+		close(joined)
+	}
+
+	err = run(cfg)
+	close(done)
+	<-joined
+	os.Stdout, os.Stderr = oldOut, oldErr
+	outF.Close()
+	errF.Close()
+
+	ob, e := os.ReadFile(filepath.Join(dir, "stdout"))
+	if e != nil {
+		t.Fatal(e)
+	}
+	eb, e := os.ReadFile(filepath.Join(dir, "stderr"))
+	if e != nil {
+		t.Fatal(e)
+	}
+	return string(ob), string(eb), err
+}
+
+// bodyLines drops the header (column names) line and returns the row lines.
+func bodyLines(stdout string) []string {
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) <= 1 {
+		return nil
+	}
+	return lines[1:]
+}
+
+// TestRunSigtermWritesArtifacts is the unified-exit-path regression test:
+// a run interrupted by SIGTERM must still finalize every -o artifact,
+// exactly as a drained run would (writeRunArtifacts is the one shared
+// exit path).
+func TestRunSigtermWritesArtifacts(t *testing.T) {
+	guardSigterm(t)
+	dir := t.TempDir()
+	out, errOut, err := runCaptured(t, config{
+		Query: "SELECT tb, count(*), sum(len) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 600, Seed: 1, Ring: 4096,
+		OutDir: dir, Artifacts: "events,metrics,state",
+	}, 40) // kill once the first window's row is out
+	if err != nil {
+		t.Fatalf("interrupted run returned error: %v", err)
+	}
+	if !strings.Contains(errOut, "interrupted") {
+		t.Fatalf("run drained before the SIGTERM landed; stderr: %q", errOut)
+	}
+	if len(bodyLines(out)) == 0 {
+		t.Fatal("no rows printed before the interrupt")
+	}
+	for _, name := range []string{"events.jsonl", "metrics.prom", "state.json"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("artifact %s missing after SIGTERM: %v", name, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty after SIGTERM", name)
+		}
+	}
+}
+
+var restoredRows = regexp.MustCompile(`restored seq=\d+ packets=\d+ windows=\d+ rows=(\d+) from `)
+
+// TestRunCheckpointRestoreSplice is the CLI half of the kill-and-resume
+// contract: a checkpointed run killed by SIGTERM mid-stream, then resumed
+// with -restore, must splice byte-for-byte against an uninterrupted
+// reference run — first R rows of the interrupted run (R from the restore
+// banner) followed by every row of the resumed run.
+func TestRunCheckpointRestoreSplice(t *testing.T) {
+	guardSigterm(t)
+	ckpt := t.TempDir()
+	cfg := config{
+		Query: `SELECT tb, srcIP, sum(len)
+FROM PKT
+WHERE ssample(len, 100, 2, 10) = TRUE
+GROUP BY time/1 as tb, srcIP`,
+		Feed: "steady", Duration: 12, Seed: 3, Ring: 4096,
+	}
+
+	refOut, _, err := runCaptured(t, cfg, 0)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	ref := bodyLines(refOut)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no rows")
+	}
+
+	// Interrupted run: checkpoint every window, SIGTERM once rows flow.
+	icfg := cfg
+	icfg.Checkpoint, icfg.CkptEvery = ckpt, 1
+	intOut, intErr, err := runCaptured(t, icfg, 512)
+	if err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if !strings.Contains(intErr, "interrupted") {
+		t.Fatalf("checkpointed run drained before the SIGTERM landed; stderr: %q", intErr)
+	}
+	interrupted := bodyLines(intOut)
+
+	// Resumed run over the same feed config.
+	rcfg := icfg
+	rcfg.Restore = true
+	resOut, resErr, err := runCaptured(t, rcfg, 0)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	m := restoredRows.FindStringSubmatch(resErr)
+	if m == nil {
+		t.Fatalf("no restore banner on stderr: %q", resErr)
+	}
+	rows, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows > len(interrupted) {
+		t.Fatalf("banner claims %d rows before the snapshot; interrupted run printed %d", rows, len(interrupted))
+	}
+
+	splice := append(append([]string{}, interrupted[:rows]...), bodyLines(resOut)...)
+	if len(splice) != len(ref) {
+		t.Fatalf("splice has %d rows, reference %d (restored at row %d)", len(splice), len(ref), rows)
+	}
+	for i := range ref {
+		if splice[i] != ref[i] {
+			t.Fatalf("splice diverges from reference at row %d:\n  ref: %s\n  got: %s", i, ref[i], splice[i])
+		}
+	}
+}
+
+// TestRunRestoreFlagErrors: -restore without -checkpoint is a usage
+// error, and -restore over an empty snapshot directory starts fresh.
+func TestRunRestoreFlagErrors(t *testing.T) {
+	if err := run(config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 0.1, Seed: 1, Ring: 4096, Restore: true,
+	}); err == nil {
+		t.Error("-restore without -checkpoint accepted")
+	}
+	_, errOut, err := runCaptured(t, config{
+		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 0.5, Seed: 1, Ring: 4096,
+		Checkpoint: t.TempDir(), Restore: true,
+	}, 0)
+	if err != nil {
+		t.Fatalf("restore over empty dir: %v", err)
+	}
+	if !strings.Contains(errOut, "starting fresh") {
+		t.Errorf("no starting-fresh notice on stderr: %q", errOut)
+	}
+}

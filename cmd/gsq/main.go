@@ -32,6 +32,14 @@
 // ("drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us", seeded by -seed).
 // See docs/ROBUSTNESS.md.
 //
+// -checkpoint DIR writes crash-safe state snapshots (atomic, checksummed)
+// into DIR every -checkpoint-every closed windows (0 = only the final
+// snapshot a SIGINT/SIGTERM writes before flushing). -restore resumes
+// from the newest valid snapshot in DIR — a killed run restarted with
+// -restore produces exactly the rows the uninterrupted run would have,
+// after the rows the restored banner reports as already emitted. See
+// docs/ROBUSTNESS.md.
+//
 // Run artifacts are unified under -o DIR: -artifacts selects which files
 // to write (default "events,metrics,state"; add "trace" for provenance
 // traces and "replay" to record the consumed feed as a replayable
@@ -65,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"streamop/internal/checkpoint"
 	"streamop/internal/core"
 	"streamop/internal/engine"
 	"streamop/internal/overload"
@@ -100,6 +109,9 @@ type config struct {
 	Inject     string  // -inject: fault-injector spec wrapping the feed
 	OutDir     string  // -o: artifact directory
 	Artifacts  string  // -artifacts: comma list of artifacts to write under -o
+	Checkpoint string  // -checkpoint: snapshot directory (enables checkpointing)
+	CkptEvery  int64   // -checkpoint-every: snapshot every N closed windows
+	Restore    bool    // -restore: resume from the newest valid snapshot
 }
 
 func main() {
@@ -127,6 +139,9 @@ func main() {
 	flag.StringVar(&cfg.Inject, "inject", "", `deterministic fault injectors wrapping the feed, e.g. "drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us" (seeded by -seed)`)
 	flag.StringVar(&cfg.OutDir, "o", "", "write run artifacts into this directory (created if absent); see -artifacts")
 	flag.StringVar(&cfg.Artifacts, "artifacts", defaultArtifacts, "with -o: comma list of artifacts to write: events,metrics,state,trace,replay")
+	flag.StringVar(&cfg.Checkpoint, "checkpoint", "", "write crash-safe state snapshots into this directory (see docs/ROBUSTNESS.md)")
+	flag.Int64Var(&cfg.CkptEvery, "checkpoint-every", 1, "with -checkpoint: snapshot every N closed windows (0 = only on SIGINT/SIGTERM)")
+	flag.BoolVar(&cfg.Restore, "restore", false, "with -checkpoint: resume from the newest valid snapshot in the directory")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -257,6 +272,37 @@ func run(cfg config) error {
 			return err
 		}
 	}
+	if cfg.Checkpoint != "" {
+		if err := e.SetCheckpoint(engine.CheckpointConfig{
+			Dir:          cfg.Checkpoint,
+			EveryWindows: cfg.CkptEvery,
+		}); err != nil {
+			return err
+		}
+	} else if cfg.Restore {
+		return fmt.Errorf("-restore needs -checkpoint DIR")
+	}
+	if cfg.Restore {
+		info, err := e.RestoreLatest()
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			fmt.Fprintln(os.Stderr, "gsq: no valid snapshot found; starting fresh")
+		case err != nil:
+			return err
+		default:
+			var rows int64
+			for _, n := range info.Nodes {
+				if n.Name == "query" {
+					rows = n.TuplesOut
+				}
+			}
+			// The banner's rows count is what CI's kill-and-resume splice
+			// keys on: rows already emitted before the snapshot.
+			fmt.Fprintf(os.Stderr, "gsq: restored seq=%d packets=%d windows=%d rows=%d from %s\n",
+				info.Seq, info.Packets, info.Windows, rows, info.Path)
+		}
+	}
+
 	var printed, suppressed int64
 	node.Subscribe(func(row tuple.Tuple) error {
 		if cfg.Limit > 0 && printed >= int64(cfg.Limit) {
@@ -302,37 +348,8 @@ func run(cfg config) error {
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "gsq: interrupted; open windows flushed, writing artifacts")
 	}
-	if rec != nil {
-		if err := rec.Flush(); err != nil {
-			recFile.Close()
-			return fmt.Errorf("writing replay capture: %w", err)
-		}
-		if err := recFile.Close(); err != nil {
-			return fmt.Errorf("writing replay capture: %w", err)
-		}
-	}
-	if err := col.Close(); err != nil {
-		return fmt.Errorf("flushing events: %w", err)
-	}
-	if tr != nil {
-		if err := writeTrace(art.Trace, tr); err != nil {
-			return err
-		}
-	}
-	if art.Metrics != "" {
-		if err := writeFileWith(art.Metrics, col.WritePrometheus); err != nil {
-			return fmt.Errorf("writing metrics: %w", err)
-		}
-	}
-	if art.State != "" {
-		state := col.DebugData("state")
-		if err := writeFileWith(art.State, func(w io.Writer) error {
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			return enc.Encode(state)
-		}); err != nil {
-			return fmt.Errorf("writing state: %w", err)
-		}
+	if err := writeRunArtifacts(art, rec, recFile, col, tr); err != nil {
+		return err
 	}
 
 	if cfg.Stats {
@@ -441,6 +458,47 @@ func resolveArtifacts(cfg config) (artifactPaths, error) {
 		}
 	}
 	return a, nil
+}
+
+// writeRunArtifacts finalizes every selected artifact after the engine
+// returns. It runs on the one exit path both clean completion and a
+// SIGINT/SIGTERM cancellation share, so an interrupted run always leaves
+// the same files behind as a drained one (main_test.go's SIGTERM test
+// holds this).
+func writeRunArtifacts(art artifactPaths, rec *trace.Writer, recFile *os.File, col *telemetry.Collector, tr *tracing.Tracer) error {
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			recFile.Close()
+			return fmt.Errorf("writing replay capture: %w", err)
+		}
+		if err := recFile.Close(); err != nil {
+			return fmt.Errorf("writing replay capture: %w", err)
+		}
+	}
+	if err := col.Close(); err != nil {
+		return fmt.Errorf("flushing events: %w", err)
+	}
+	if tr != nil {
+		if err := writeTrace(art.Trace, tr); err != nil {
+			return err
+		}
+	}
+	if art.Metrics != "" {
+		if err := writeFileWith(art.Metrics, col.WritePrometheus); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if art.State != "" {
+		state := col.DebugData("state")
+		if err := writeFileWith(art.State, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(state)
+		}); err != nil {
+			return fmt.Errorf("writing state: %w", err)
+		}
+	}
+	return nil
 }
 
 // recordFeed forwards a feed while appending every packet to a binary

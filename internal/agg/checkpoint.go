@@ -1,0 +1,156 @@
+package agg
+
+import (
+	"fmt"
+
+	"streamop/internal/checkpoint"
+	"streamop/internal/ost"
+)
+
+// Checkpoint codec for the built-in aggregates and superaggregates. Each
+// concrete type is serialized under a stable tag with its full internal
+// state, so a restored instance continues folding exactly where the
+// original stopped. User-defined aggregates (sfun.Accumulator wrapped by
+// the operator) are not checkpointable and are rejected by the operator's
+// snapshot path before reaching this codec.
+
+const (
+	tagSum uint8 = iota + 1
+	tagCount
+	tagMin
+	tagMax
+	tagAvg
+	tagFirst
+	tagLast
+	tagVar
+)
+
+const (
+	tagSuperCountDistinct uint8 = iota + 1
+	tagSuperSum
+	tagSuperKth
+)
+
+// EncodeAgg serializes one built-in group aggregate. Unknown concrete
+// types (UDAF adapters) are an error.
+func EncodeAgg(e *checkpoint.Encoder, a Agg) error {
+	switch a := a.(type) {
+	case *sumAgg:
+		e.U8(tagSum)
+		e.I64(a.i)
+		e.F64(a.f)
+		e.Bool(a.isFloat)
+		e.Bool(a.seen)
+	case *countAgg:
+		e.U8(tagCount)
+		e.I64(a.n)
+	case *minAgg:
+		e.U8(tagMin)
+		e.Value(a.v)
+		e.Bool(a.seen)
+	case *maxAgg:
+		e.U8(tagMax)
+		e.Value(a.v)
+		e.Bool(a.seen)
+	case *avgAgg:
+		e.U8(tagAvg)
+		e.F64(a.sum)
+		e.I64(a.n)
+	case *firstAgg:
+		e.U8(tagFirst)
+		e.Value(a.v)
+		e.Bool(a.seen)
+	case *lastAgg:
+		e.U8(tagLast)
+		e.Value(a.v)
+	case *varAgg:
+		e.U8(tagVar)
+		e.I64(a.n)
+		e.F64(a.mean)
+		e.F64(a.m2)
+		e.Bool(a.stddev)
+	default:
+		return fmt.Errorf("agg: %T is not checkpointable", a)
+	}
+	return nil
+}
+
+// DecodeAgg reads back one aggregate serialized by EncodeAgg.
+func DecodeAgg(d *checkpoint.Decoder) (Agg, error) {
+	tag := d.U8()
+	var a Agg
+	switch tag {
+	case tagSum:
+		a = &sumAgg{i: d.I64(), f: d.F64(), isFloat: d.Bool(), seen: d.Bool()}
+	case tagCount:
+		a = &countAgg{n: d.I64()}
+	case tagMin:
+		a = &minAgg{v: d.Value(), seen: d.Bool()}
+	case tagMax:
+		a = &maxAgg{v: d.Value(), seen: d.Bool()}
+	case tagAvg:
+		a = &avgAgg{sum: d.F64(), n: d.I64()}
+	case tagFirst:
+		a = &firstAgg{v: d.Value(), seen: d.Bool()}
+	case tagLast:
+		a = &lastAgg{v: d.Value()}
+	case tagVar:
+		a = &varAgg{n: d.I64(), mean: d.F64(), m2: d.F64(), stddev: d.Bool()}
+	default:
+		if d.Err() == nil {
+			d.Fail("agg: unknown aggregate tag %d", tag)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// EncodeSuper serializes one built-in superaggregate.
+func EncodeSuper(e *checkpoint.Encoder, s Super) error {
+	switch s := s.(type) {
+	case *countDistinctSuper:
+		e.U8(tagSuperCountDistinct)
+		e.I64(s.n)
+	case *sumSuper:
+		e.U8(tagSuperSum)
+		e.F64(s.sum)
+	case *kthSuper:
+		e.U8(tagSuperKth)
+		e.I64(int64(s.k))
+		e.Bool(s.fromTop)
+		s.tree.Encode(e)
+	default:
+		return fmt.Errorf("agg: superaggregate %T is not checkpointable", s)
+	}
+	return nil
+}
+
+// DecodeSuper reads back one superaggregate serialized by EncodeSuper.
+func DecodeSuper(d *checkpoint.Decoder) (Super, error) {
+	tag := d.U8()
+	var s Super
+	switch tag {
+	case tagSuperCountDistinct:
+		s = &countDistinctSuper{n: d.I64()}
+	case tagSuperSum:
+		s = &sumSuper{sum: d.F64()}
+	case tagSuperKth:
+		k := int(d.I64())
+		fromTop := d.Bool()
+		tree := ost.Decode(d)
+		if d.Err() == nil && k < 1 {
+			d.Fail("agg: kth superaggregate with k=%d", k)
+		}
+		s = &kthSuper{k: k, fromTop: fromTop, tree: tree}
+	default:
+		if d.Err() == nil {
+			d.Fail("agg: unknown superaggregate tag %d", tag)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,229 @@
+// Package checkpoint implements crash-safe snapshot files for the stream
+// operator's state.
+//
+// A snapshot file is a single framed payload:
+//
+//	magic   8 bytes  "SOPCKPT1"
+//	version uint16   little-endian format version
+//	payload N bytes  opaque engine/operator state (see internal/engine)
+//	crc     uint32   IEEE CRC-32 of everything before it
+//
+// Files are written atomically — temp file in the target directory, fsync,
+// rename, directory fsync — so a crash mid-write leaves either the previous
+// snapshot or a temp file that readers ignore, never a half-written
+// snapshot under the real name. Truncation and bit rot are caught by the
+// CRC (and the length check the CRC position implies); Latest walks the
+// directory newest-first and falls back past invalid files to the newest
+// valid one, so one corrupt snapshot costs one checkpoint interval of
+// progress, not the whole history.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	magic = "SOPCKPT1"
+	// Version is the current snapshot format version. Decoding refuses
+	// other versions rather than guessing.
+	Version = 1
+
+	prefix = "ckpt-"
+	suffix = ".sopc"
+)
+
+// ErrCorrupt marks a snapshot that failed validation: bad magic, unknown
+// version, truncation, or CRC mismatch. Wrapped errors carry the detail.
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+// ErrNoCheckpoint is returned by Latest when the directory holds no valid
+// snapshot at all.
+var ErrNoCheckpoint = errors.New("checkpoint: no valid snapshot found")
+
+// Frame wraps a payload in the on-disk framing (magic, version, CRC).
+func Frame(payload []byte) []byte {
+	b := make([]byte, 0, len(magic)+2+len(payload)+4)
+	b = append(b, magic...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// Unframe validates the framing and returns the payload. The payload
+// aliases b. Invalid input returns an error wrapping ErrCorrupt.
+func Unframe(b []byte) ([]byte, error) {
+	if len(b) < len(magic)+2+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal frame", ErrCorrupt, len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(b[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrCorrupt, v, Version)
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorrupt, sum, got)
+	}
+	return body[len(magic)+2:], nil
+}
+
+// FileName returns the snapshot file name for a sequence number. Names sort
+// lexicographically in sequence order.
+func FileName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", prefix, seq, suffix)
+}
+
+// SeqFromName parses the sequence number out of a snapshot file name.
+func SeqFromName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WriteFile atomically writes one framed snapshot into dir under the name
+// for seq and returns the final path. The directory is created if missing.
+func WriteFile(dir string, seq uint64, payload []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: creating directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(Frame(payload)); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", fmt.Errorf("checkpoint: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", fmt.Errorf("checkpoint: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("checkpoint: closing snapshot: %w", err)
+	}
+	final := filepath.Join(dir, FileName(seq))
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return "", fmt.Errorf("checkpoint: publishing snapshot: %w", err)
+	}
+	// Persist the rename itself. Failure here is non-fatal for
+	// correctness (the data is durable; only the directory entry might
+	// be lost on power failure) and some filesystems refuse dir fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return final, nil
+}
+
+// ReadFile reads and validates one snapshot file, returning its payload.
+func ReadFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Unframe(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return payload, nil
+}
+
+// Snapshot is one validated snapshot read back from disk.
+type Snapshot struct {
+	Path    string
+	Seq     uint64
+	Payload []byte
+}
+
+// List returns the snapshot file names in dir, oldest first. Temp files
+// and foreign names are ignored.
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if _, ok := SeqFromName(ent.Name()); ok {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Latest returns the newest valid snapshot in dir, skipping over corrupt or
+// truncated files (their errors are joined into the returned error only
+// when no valid snapshot exists). An empty or missing directory returns
+// ErrNoCheckpoint.
+func Latest(dir string) (*Snapshot, error) {
+	names, err := List(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoCheckpoint
+		}
+		return nil, err
+	}
+	var probs []error
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		payload, err := ReadFile(path)
+		if err != nil {
+			probs = append(probs, err)
+			continue
+		}
+		seq, _ := SeqFromName(names[i])
+		return &Snapshot{Path: path, Seq: seq, Payload: payload}, nil
+	}
+	if len(probs) > 0 {
+		return nil, fmt.Errorf("%w (%d file(s) rejected: %w)", ErrNoCheckpoint, len(probs), errors.Join(probs...))
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// Prune deletes all but the newest keep snapshots. keep < 1 keeps one.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := List(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(names) <= keep {
+		return nil
+	}
+	var firstErr error
+	for _, name := range names[:len(names)-keep] {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,270 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamop/internal/value"
+)
+
+func TestFrameUnframeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, {0}, {0xff}, []byte("hello world"), make([]byte, 1<<16)} {
+		framed := Frame(payload)
+		got, err := Unframe(framed)
+		if err != nil {
+			t.Fatalf("Unframe(Frame(%d bytes)): %v", len(payload), err)
+		}
+		if string(got) != string(payload) {
+			t.Fatalf("payload mismatch after round trip: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+func TestUnframeRejectsCorruption(t *testing.T) {
+	framed := Frame([]byte("some operator state"))
+
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      framed[:len(magic)+1],
+		"bad magic":  append([]byte("NOTCKPT!"), framed[len(magic):]...),
+		"truncated":  framed[:len(framed)-1],
+		"bit flip":   flipBit(framed, len(magic)+5),
+		"crc flip":   flipBit(framed, len(framed)-2),
+		"wrong vers": flipBit(framed, len(magic)),
+	}
+	for name, b := range cases {
+		if _, err := Unframe(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x40
+	return c
+}
+
+func TestFileNameSeqRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 7, 1<<32 + 5} {
+		name := FileName(seq)
+		got, ok := SeqFromName(name)
+		if !ok || got != seq {
+			t.Fatalf("SeqFromName(FileName(%d)) = %d, %v", seq, got, ok)
+		}
+	}
+	// Names must sort lexicographically in sequence order.
+	if FileName(9) >= FileName(10) {
+		t.Fatalf("names do not sort: %q >= %q", FileName(9), FileName(10))
+	}
+	for _, bad := range []string{"", "ckpt-.sopc", "ckpt-x.sopc", "other-0000000000000001.sopc", "ckpt-1.txt", ".ckpt-123.tmp"} {
+		if _, ok := SeqFromName(bad); ok {
+			t.Errorf("SeqFromName(%q) accepted a foreign name", bad)
+		}
+	}
+}
+
+func TestWriteReadLatest(t *testing.T) {
+	dir := t.TempDir()
+	for seq, payload := range map[uint64]string{1: "one", 2: "two", 3: "three"} {
+		if _, err := WriteFile(dir, seq, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 3 || string(snap.Payload) != "three" {
+		t.Fatalf("Latest = seq %d payload %q, want 3/three", snap.Seq, snap.Payload)
+	}
+	// No temp files should remain after successful writes.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteFile(dir, 1, []byte("good old")); err != nil {
+		t.Fatal(err)
+	}
+	// Newest snapshot is truncated mid-payload, as after a crash on a
+	// filesystem without atomic rename (or plain bit rot).
+	path, err := WriteFile(dir, 2, []byte("good new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest should fall back past the corrupt file: %v", err)
+	}
+	if snap.Seq != 1 || string(snap.Payload) != "good old" {
+		t.Fatalf("fallback picked seq %d payload %q", snap.Seq, snap.Payload)
+	}
+}
+
+func TestLatestAllCorruptOrEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: want ErrNoCheckpoint, got %v", err)
+	}
+	if _, err := Latest(filepath.Join(dir, "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: want ErrNoCheckpoint, got %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, FileName(5)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Latest(dir)
+	if !errors.Is(err, ErrNoCheckpoint) || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("all-corrupt dir: want ErrNoCheckpoint wrapping ErrCorrupt, got %v", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := WriteFile(dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != FileName(4) || names[1] != FileName(5) {
+		t.Fatalf("Prune kept %v", names)
+	}
+	if err := Prune(dir, 0); err != nil { // keep < 1 keeps one
+		t.Fatal(err)
+	}
+	names, _ = List(dir)
+	if len(names) != 1 || names[0] != FileName(5) {
+		t.Fatalf("Prune(0) kept %v", names)
+	}
+	if err := Prune(filepath.Join(dir, "missing"), 3); err != nil {
+		t.Fatalf("Prune on a missing dir should be a no-op: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U8(0xab)
+	e.U16(0xbeef)
+	e.U32(0xdeadbeef)
+	e.U64(1<<63 + 12345)
+	e.I64(-42)
+	e.F64(3.14159)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("héllo\x00world")
+	e.Blob([]byte{9, 8, 7})
+	e.Values([]value.Value{
+		{},
+		value.NewBool(true),
+		value.NewInt(-7),
+		value.NewUint(7),
+		value.NewFloat(-0.5),
+		value.NewString("s"),
+	})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xab {
+		t.Fatalf("U8 = %x", got)
+	}
+	if got := d.U16(); got != 0xbeef {
+		t.Fatalf("U16 = %x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := d.U64(); got != 1<<63+12345 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := d.String(); got != "héllo\x00world" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.Blob(); len(got) != 3 || got[0] != 9 {
+		t.Fatalf("Blob = %v", got)
+	}
+	vs := d.Values()
+	if len(vs) != 6 {
+		t.Fatalf("Values len = %d", len(vs))
+	}
+	if vs[0].Kind() != value.Null || !vs[1].Bool() || vs[2].Int() != -7 ||
+		vs[3].Uint() != 7 || vs[4].Float() != -0.5 || vs[5].Str() != "s" {
+		t.Fatalf("Values round trip mismatch: %v", vs)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U64() // truncated: sets the error
+	if d.Err() == nil {
+		t.Fatal("truncated U64 did not error")
+	}
+	first := d.Err()
+	_ = d.String()
+	_ = d.Values()
+	if d.Err() != first {
+		t.Fatal("sticky error was replaced")
+	}
+}
+
+func TestDecoderRejectsImplausibleLength(t *testing.T) {
+	e := NewEncoder()
+	e.U32(0xffffff00) // a "length" far beyond the buffer
+	d := NewDecoder(e.Bytes())
+	if n := d.Len(); n != 0 || d.Err() == nil {
+		t.Fatalf("Len accepted implausible length: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestDecoderRejectsBadBoolAndKind(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("Bool(7) accepted")
+	}
+	d = NewDecoder([]byte{0xee})
+	d.Value()
+	if d.Err() == nil {
+		t.Fatal("Value with kind 0xee accepted")
+	}
+}
+
+func TestDecoderFail(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Fail("count %d out of range", 99)
+	if d.Err() == nil || !strings.Contains(d.Err().Error(), "99") {
+		t.Fatalf("Fail did not record: %v", d.Err())
+	}
+}

@@ -1,0 +1,273 @@
+// Binary codec for checkpoint payloads.
+//
+// The format is deliberately boring: fixed-width little-endian integers,
+// length-prefixed strings and nested blobs, and a tagged encoding for
+// value.Value. An Encoder appends to a growing buffer; a Decoder carries a
+// sticky error so call sites can decode a whole record and check Err()
+// once, which keeps the state-restore code in operator/sfunlib linear.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"streamop/internal/value"
+)
+
+// Encoder serializes primitives into an in-memory buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload. The slice aliases the encoder's
+// buffer; do not append to the encoder afterwards.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a two's-complement int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64 by bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Len appends a collection length (uint32). Negative lengths panic: they
+// indicate a programming error on the encode side, never bad input.
+func (e *Encoder) Len(n int) {
+	if n < 0 || int64(n) > math.MaxUint32 {
+		panic(fmt.Sprintf("checkpoint: length %d out of range", n))
+	}
+	e.U32(uint32(n))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Len(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice (e.g. a nested sub-payload).
+func (e *Encoder) Blob(b []byte) {
+	e.Len(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+// Value appends a tagged value.Value.
+func (e *Encoder) Value(v value.Value) {
+	e.U8(uint8(v.Kind()))
+	switch v.Kind() {
+	case value.Null:
+	case value.Bool:
+		e.Bool(v.Bool())
+	case value.Int:
+		e.I64(v.Int())
+	case value.Uint:
+		e.U64(v.Uint())
+	case value.Float:
+		e.F64(v.Float())
+	case value.String:
+		e.String(v.Str())
+	default:
+		panic(fmt.Sprintf("checkpoint: unencodable value kind %v", v.Kind()))
+	}
+}
+
+// Values appends a length-prefixed slice of values.
+func (e *Encoder) Values(vs []value.Value) {
+	e.Len(len(vs))
+	for _, v := range vs {
+		e.Value(v)
+	}
+}
+
+// Decoder reads back what an Encoder wrote. The first malformed read sets a
+// sticky error; subsequent reads return zero values, so callers can decode
+// an entire record and inspect Err once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for reading.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("checkpoint: "+format, args...)
+	}
+}
+
+// Fail records a decoding error from a caller-side validity check (an
+// out-of-range count, an unknown type tag). The first error wins.
+func (d *Decoder) Fail(format string, args ...any) { d.fail(format, args...) }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail("truncated payload: need %d bytes at offset %d, have %d", n, d.off, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a two's-complement int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64 by bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a boolean; any byte other than 0 or 1 is an error.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid boolean byte at offset %d", d.off-1)
+		return false
+	}
+}
+
+// Len reads a collection length and rejects values that cannot possibly fit
+// in the remaining buffer (each element costs at least one byte), so a
+// corrupt length cannot drive a giant allocation.
+func (d *Decoder) Len() int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n > d.Remaining() {
+		d.fail("implausible length %d with %d bytes remaining", n, d.Remaining())
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Len()
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Blob reads a length-prefixed byte slice. The result aliases the decoder's
+// buffer.
+func (d *Decoder) Blob() []byte {
+	n := d.Len()
+	return d.take(n)
+}
+
+// Value reads a tagged value.Value.
+func (d *Decoder) Value() value.Value {
+	kind := value.Kind(d.U8())
+	if d.err != nil {
+		return value.Value{}
+	}
+	switch kind {
+	case value.Null:
+		return value.Value{}
+	case value.Bool:
+		return value.NewBool(d.Bool())
+	case value.Int:
+		return value.NewInt(d.I64())
+	case value.Uint:
+		return value.NewUint(d.U64())
+	case value.Float:
+		return value.NewFloat(d.F64())
+	case value.String:
+		return value.NewString(d.String())
+	default:
+		d.fail("invalid value kind %d at offset %d", uint8(kind), d.off-1)
+		return value.Value{}
+	}
+}
+
+// Values reads a length-prefixed slice of values.
+func (d *Decoder) Values() []value.Value {
+	n := d.Len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]value.Value, 0, n)
+	for i := 0; i < n; i++ {
+		vs = append(vs, d.Value())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return vs
+}

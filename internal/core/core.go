@@ -199,6 +199,17 @@ var errStopRows = errors.New("core: row iteration stopped")
 //	for row := range q.Rows() { ... }
 //	if err := q.Err(); err != nil { ... }
 func (q *Query) Rows() iter.Seq[Row] {
+	return q.RowsContext(context.Background())
+}
+
+// RowsContext is Rows with cancellation: the feed-driven loop checks ctx
+// between packets and, when cancelled, flushes the open window (so the
+// streamed output ends on a window boundary) and records ctx.Err in Err.
+// The sequence runs entirely on the caller's goroutine — no background
+// goroutine is spawned — so a loop abandoned by break, panic, or
+// cancellation leaks nothing (core_test.go's goroutine-accounting
+// regression test holds this).
+func (q *Query) RowsContext(ctx context.Context) iter.Seq[Row] {
 	return func(yield func(Row) bool) {
 		if q.feed == nil {
 			for _, r := range q.Collected {
@@ -223,7 +234,19 @@ func (q *Query) Rows() iter.Seq[Row] {
 			return nil
 		}
 		q.err = nil
+		done := ctx.Done()
+		cancelled := false
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					cancelled = true
+				default:
+				}
+				if cancelled {
+					break
+				}
+			}
 			p, ok := feed.Next()
 			if !ok {
 				break
@@ -237,6 +260,10 @@ func (q *Query) Rows() iter.Seq[Row] {
 		}
 		if err := q.Flush(); err != nil && !stopped {
 			q.err = err
+			return
+		}
+		if cancelled && !stopped {
+			q.err = ctx.Err()
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamop/internal/trace"
+)
+
+func steady(t *testing.T, dur float64) trace.Feed {
+	t.Helper()
+	feed, err := trace.NewSteady(trace.SteadyConfig{Seed: 3, Duration: dur, Rate: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return feed
+}
+
+func compileCount(t *testing.T) *Query {
+	t.Helper()
+	q, err := Compile(`SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestRowsContextCancellation: a cancelled context stops the feed-driven
+// loop at a packet boundary, flushes the open window (output ends on a
+// window boundary) and surfaces ctx.Err through Err.
+func TestRowsContextCancellation(t *testing.T) {
+	q := compileCount(t)
+	q.SetFeed(steady(t, 5))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rows int
+	for range q.RowsContext(ctx) {
+		rows++
+		if rows == 2 {
+			cancel()
+		}
+	}
+	if !errors.Is(q.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", q.Err())
+	}
+	// 2 rows seen, plus the flush of the window open at cancel time.
+	if rows < 3 || rows >= 5 {
+		t.Fatalf("rows = %d, want the cancel window's flush and nothing after", rows)
+	}
+}
+
+func TestRowsContextUncancelledEqualsRows(t *testing.T) {
+	a := compileCount(t)
+	a.SetFeed(steady(t, 2.5))
+	var fromCtx int
+	for range a.RowsContext(context.Background()) {
+		fromCtx++
+	}
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+
+	b := compileCount(t)
+	b.SetFeed(steady(t, 2.5))
+	var fromRows int
+	for range b.Rows() {
+		fromRows++
+	}
+	if fromCtx != fromRows {
+		t.Fatalf("RowsContext saw %d rows, Rows saw %d", fromCtx, fromRows)
+	}
+}
+
+// TestRowsNoGoroutineLeak is the goroutine-accounting regression test the
+// RowsContext doc comment refers to: the iterator runs entirely on the
+// caller's goroutine, so an abandoned loop (break mid-window), a cancelled
+// loop, and a completed loop must all leave the goroutine count where it
+// started.
+func TestRowsNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// Abandoned by break.
+	q1 := compileCount(t)
+	q1.SetFeed(steady(t, 5))
+	for range q1.Rows() {
+		break
+	}
+
+	// Abandoned by cancellation.
+	q2 := compileCount(t)
+	q2.SetFeed(steady(t, 5))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for range q2.RowsContext(ctx) {
+	}
+
+	// Drained to completion.
+	q3 := compileCount(t)
+	q3.SetFeed(steady(t, 1))
+	for range q3.Rows() {
+	}
+
+	// Allow any unrelated runtime goroutines to settle, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutines grew from %d to %d: Rows loop leaked", base, got)
+	}
+}
+
+// TestRowsContextBreakBeatsCancel: breaking out of the loop before the
+// context fires must still be a deliberate stop (Err nil), not an error.
+func TestRowsContextBreakBeatsCancel(t *testing.T) {
+	q := compileCount(t)
+	q.SetFeed(steady(t, 5))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for range q.RowsContext(ctx) {
+		break
+	}
+	if q.Err() != nil {
+		t.Fatalf("Err after deliberate break = %v", q.Err())
+	}
+}

@@ -1,0 +1,463 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"streamop/internal/checkpoint"
+	"streamop/internal/overload"
+	"streamop/internal/ringbuf"
+	"streamop/internal/telemetry"
+	"streamop/internal/trace"
+)
+
+// Crash-safe checkpoint/restore.
+//
+// A checkpoint is one framed file (see internal/checkpoint) holding the
+// engine's complete resumable state at a tuple boundary: the source
+// position (packets taken from the feed, timestamp bounds), every
+// low- and high-level node's operator snapshot (group tables, supergroup
+// tables old and new, SFUN state blobs, RNG state), and the source gate's
+// admission-controller state. The payload opens with a fingerprint of the
+// query topology so a snapshot is never restored into a different set of
+// queries.
+//
+// Exactness. The serial loop snapshots only when the ring is empty and
+// every node has settled, so "packets taken from the feed" fully
+// determines what every operator has seen; the restored run fast-forwards
+// the feed by that count and continues bit-for-bit (fault injection and
+// admission draws replay identically because their RNG state rides along
+// — the wrapped feed is re-wrapped with the same seed, and skipping the
+// prefix replays the same draws). RunParallel reaches the same boundary
+// by quiescing: the producer stops pushing and waits until each worker's
+// consumed count matches its ring's push count, which also gives the
+// producer a happens-before edge over the workers' operator state.
+//
+// Restrictions. Partial-aggregation nodes have no state codec and refuse
+// checkpointing; RunParallel additionally requires unpaced mode (paced
+// mode sheds packets nondeterministically, so there is no exact resume to
+// preserve) and a topology without high-level nodes (their channel
+// buffers are in-flight state with no quiesce point).
+
+// ckptProbeInterval is how many packets the parallel producer routes
+// between checkpoint-due probes (each probe quiesces the workers, so it
+// must be far rarer than the per-packet work it interrupts).
+const ckptProbeInterval = 4096
+
+// CheckpointConfig configures periodic snapshots for a run.
+type CheckpointConfig struct {
+	// Dir is the snapshot directory (created if missing).
+	Dir string
+	// EveryWindows triggers a snapshot whenever some node's operator has
+	// closed at least this many windows since the previous snapshot.
+	// <= 0 disables the periodic schedule; a cancelled run still writes
+	// its final snapshot.
+	EveryWindows int64
+	// Keep is the number of snapshot files retained (older ones are
+	// pruned after each write). < 1 defaults to 2, so one corrupt newest
+	// file still leaves a valid predecessor.
+	Keep int
+}
+
+// ckptState is the engine's live checkpoint runtime.
+type ckptState struct {
+	cfg         CheckpointConfig
+	seq         uint64
+	lastWindows int64
+	resumeSkip  int64
+	pendingGate *overload.PersistentState
+
+	// Atomic mirrors for /debug/state (written by the run loop or the
+	// parallel producer, read by the HTTP goroutine).
+	aSeq     atomic.Uint64
+	aWritten atomic.Int64
+
+	m *ckptMetrics
+}
+
+type ckptMetrics struct {
+	written, lastSeq, lastBytes, lastSeconds, failures, restores *telemetry.Gauge
+}
+
+// SetCheckpoint enables checkpointing for subsequent runs. Call before
+// Run/RunParallel (and before RestoreLatest when resuming).
+func (e *Engine) SetCheckpoint(cfg CheckpointConfig) error {
+	if cfg.Dir == "" {
+		return fmt.Errorf("engine: checkpoint directory must not be empty")
+	}
+	if cfg.Keep < 1 {
+		cfg.Keep = 2
+	}
+	e.ckpt = &ckptState{cfg: cfg}
+	return nil
+}
+
+// metrics lazily registers the checkpoint gauges (the collector may be
+// attached after SetCheckpoint).
+func (ck *ckptState) metrics(tel *telemetry.Collector) *ckptMetrics {
+	if ck.m == nil && tel.Enabled() {
+		r := tel.Registry()
+		ck.m = &ckptMetrics{
+			written:     r.Gauge("streamop_checkpoint_written", "snapshots written this run"),
+			lastSeq:     r.Gauge("streamop_checkpoint_last_seq", "sequence number of the newest snapshot"),
+			lastBytes:   r.Gauge("streamop_checkpoint_last_bytes", "framed size of the newest snapshot"),
+			lastSeconds: r.Gauge("streamop_checkpoint_last_duration_seconds", "wall-clock cost of the newest snapshot write"),
+			failures:    r.Gauge("streamop_checkpoint_failures", "snapshot writes that failed"),
+			restores:    r.Gauge("streamop_checkpoint_restores", "successful restores this process"),
+		}
+	}
+	return ck.m
+}
+
+// checkpointRunnable rejects topologies and modes the checkpoint
+// machinery cannot snapshot exactly; a run without checkpointing is never
+// rejected.
+func (e *Engine) checkpointRunnable(parallel bool, speedup float64) error {
+	if e.ckpt == nil {
+		return nil
+	}
+	if len(e.lowPartial) > 0 {
+		return fmt.Errorf("engine: checkpointing does not support partial-aggregation nodes (no state codec)")
+	}
+	if parallel {
+		if speedup > 0 {
+			return fmt.Errorf("engine: checkpointing under RunParallel requires unpaced mode (speedup <= 0)")
+		}
+		if len(e.high) > 0 {
+			return fmt.Errorf("engine: checkpointing under RunParallel does not support high-level nodes (in-flight channel state)")
+		}
+	}
+	return nil
+}
+
+// topologyFingerprint hashes the query topology — each node's name,
+// compiled plan description, and output schema, level by level — so a
+// snapshot can refuse restoration into different queries.
+func (e *Engine) topologyFingerprint() uint64 {
+	h := fnv.New64a()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	for _, n := range e.low {
+		w("low", n.name, n.plan.Describe(), n.schema.Name())
+	}
+	for _, pn := range e.lowPartial {
+		w("low_partial", pn.name, pn.plan.Describe(), pn.schema.Name())
+	}
+	for _, n := range e.high {
+		w("high", n.name, n.plan.Describe(), n.schema.Name())
+	}
+	return h.Sum64()
+}
+
+// ckptNodes returns the nodes a snapshot covers, in the fixed payload
+// order (low first, then high; partial nodes are excluded by
+// checkpointRunnable).
+func (e *Engine) ckptNodes() []*Node {
+	return append(append(make([]*Node, 0, len(e.low)+len(e.high)), e.low...), e.high...)
+}
+
+// encodeCheckpoint serializes the engine's resumable state.
+func (e *Engine) encodeCheckpoint() ([]byte, error) {
+	enc := checkpoint.NewEncoder()
+	enc.U64(e.topologyFingerprint())
+	enc.U64(e.firstTS)
+	enc.U64(e.lastTS)
+	enc.I64(e.packets)
+	enc.Bool(e.sawPacket)
+	nodes := e.ckptNodes()
+	enc.Len(len(nodes))
+	for _, n := range nodes {
+		enc.String(n.name)
+		enc.I64(n.tuplesIn)
+		enc.I64(n.out)
+		enc.Bool(n.failed)
+		if n.failed {
+			// A panicked operator's state is untrusted; persist the failure
+			// instead (the previous snapshot holds the last-good state).
+			enc.String(n.failMsg)
+			enc.String(n.failStack)
+			continue
+		}
+		sub := checkpoint.NewEncoder()
+		if err := n.op.Snapshot(sub); err != nil {
+			return nil, fmt.Errorf("engine: node %q: %w", n.name, err)
+		}
+		enc.Blob(sub.Bytes())
+	}
+	if g := e.srcGate; g != nil {
+		enc.Bool(true)
+		encodeGateState(enc, g.ctrl.ExportState())
+	} else {
+		enc.Bool(false)
+	}
+	return enc.Bytes(), nil
+}
+
+// maxWindows returns the most windows any healthy node's operator has
+// closed — the quantity the EveryWindows schedule watches.
+func (e *Engine) maxWindows() int64 {
+	var most int64
+	for _, n := range e.ckptNodes() {
+		if n.failed {
+			continue
+		}
+		if w := n.op.Stats().Windows; w > most {
+			most = w
+		}
+	}
+	return most
+}
+
+// maybeCheckpoint writes a snapshot when the periodic schedule is due.
+// Serial run loop / parallel producer only, at a quiesced tuple boundary.
+func (e *Engine) maybeCheckpoint() error {
+	ck := e.ckpt
+	if ck == nil || ck.cfg.EveryWindows <= 0 {
+		return nil
+	}
+	if e.maxWindows()-ck.lastWindows < ck.cfg.EveryWindows {
+		return nil
+	}
+	return e.writeCheckpoint()
+}
+
+// writeCheckpoint snapshots unconditionally. Same caller contract as
+// maybeCheckpoint.
+func (e *Engine) writeCheckpoint() error {
+	ck := e.ckpt
+	start := time.Now()
+	payload, err := e.encodeCheckpoint()
+	if err != nil {
+		ck.noteFailure(e.tel)
+		return err
+	}
+	seq := ck.seq + 1
+	if _, err := checkpoint.WriteFile(ck.cfg.Dir, seq, payload); err != nil {
+		ck.noteFailure(e.tel)
+		return err
+	}
+	ck.seq = seq
+	ck.lastWindows = e.maxWindows()
+	ck.aSeq.Store(seq)
+	written := ck.aWritten.Add(1)
+	// Pruning is best-effort: a failed unlink never outranks a durable
+	// snapshot.
+	_ = checkpoint.Prune(ck.cfg.Dir, ck.cfg.Keep)
+	dur := time.Since(start)
+	if m := ck.metrics(e.tel); m != nil {
+		m.written.Set(float64(written))
+		m.lastSeq.Set(float64(seq))
+		m.lastBytes.Set(float64(len(payload)))
+		m.lastSeconds.Set(dur.Seconds())
+	}
+	if e.tel.EventsEnabled() {
+		e.tel.Emit("checkpoint", map[string]any{
+			"seq": seq, "bytes": len(payload), "packets": e.packets,
+			"windows": ck.lastWindows, "duration_ms": dur.Milliseconds(),
+		})
+	}
+	return nil
+}
+
+func (ck *ckptState) noteFailure(tel *telemetry.Collector) {
+	if m := ck.metrics(tel); m != nil {
+		m.failures.Add(1)
+	}
+}
+
+// RestoredNode reports one node's state after RestoreLatest.
+type RestoredNode struct {
+	Name string
+	// TuplesOut is the number of rows the node had already delivered to
+	// its subscribers and applications when the snapshot was taken —
+	// callers re-emitting output (e.g. a CSV writer) splice at this count.
+	TuplesOut int64
+	Failed    bool
+	FailMsg   string
+}
+
+// RestoreInfo reports what RestoreLatest loaded.
+type RestoreInfo struct {
+	Path    string
+	Seq     uint64
+	Packets int64
+	Windows int64
+	Nodes   []RestoredNode
+}
+
+// RestoreLatest loads the newest valid snapshot from the configured
+// checkpoint directory into this engine's freshly built (and identical)
+// topology. Call after SetCheckpoint and after all nodes are added,
+// before Run/RunParallel; the subsequent run fast-forwards the feed past
+// the snapshot's packets and resumes exactly. Returns
+// checkpoint.ErrNoCheckpoint (possibly wrapped) when no valid snapshot
+// exists — callers treat that as a fresh start.
+func (e *Engine) RestoreLatest() (*RestoreInfo, error) {
+	ck := e.ckpt
+	if ck == nil {
+		return nil, fmt.Errorf("engine: call SetCheckpoint before RestoreLatest")
+	}
+	snap, err := checkpoint.Latest(ck.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d := checkpoint.NewDecoder(snap.Payload)
+	if fp := d.U64(); d.Err() == nil && fp != e.topologyFingerprint() {
+		return nil, fmt.Errorf("engine: snapshot %s was taken from a different query topology", snap.Path)
+	}
+	e.firstTS = d.U64()
+	e.lastTS = d.U64()
+	e.packets = d.I64()
+	e.sawPacket = d.Bool()
+	nodes := e.ckptNodes()
+	if n := d.Len(); d.Err() == nil && n != len(nodes) {
+		return nil, fmt.Errorf("engine: snapshot has %d nodes, topology has %d", n, len(nodes))
+	}
+	info := &RestoreInfo{Path: snap.Path, Seq: snap.Seq, Packets: e.packets}
+	for _, n := range nodes {
+		name := d.String()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if name != n.name {
+			return nil, fmt.Errorf("engine: snapshot node %q does not match topology node %q", name, n.name)
+		}
+		n.tuplesIn = d.I64()
+		n.out = d.I64()
+		failed := d.Bool()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if failed {
+			n.failed = true
+			n.failMsg = d.String()
+			n.failStack = d.String()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			e.recordFailure(NodeFailure{Node: n.name, Msg: n.failMsg, Stack: n.failStack}, false)
+			info.Nodes = append(info.Nodes, RestoredNode{Name: n.name, TuplesOut: n.out, Failed: true, FailMsg: n.failMsg})
+			continue
+		}
+		blob := d.Blob()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if err := n.op.Restore(checkpoint.NewDecoder(blob)); err != nil {
+			return nil, fmt.Errorf("engine: node %q: %w", n.name, err)
+		}
+		if w := n.op.Stats().Windows; w > info.Windows {
+			info.Windows = w
+		}
+		info.Nodes = append(info.Nodes, RestoredNode{Name: n.name, TuplesOut: n.out})
+	}
+	if hasGate := d.Bool(); hasGate {
+		gs := decodeGateState(d)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		ck.pendingGate = &gs
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("engine: snapshot %s has %d bytes of trailing garbage", snap.Path, d.Remaining())
+	}
+	ck.seq = snap.Seq
+	ck.aSeq.Store(snap.Seq)
+	ck.lastWindows = info.Windows
+	ck.resumeSkip = e.packets
+	if m := ck.metrics(e.tel); m != nil {
+		m.restores.Add(1)
+		m.lastSeq.Set(float64(snap.Seq))
+	}
+	if e.tel.EventsEnabled() {
+		e.tel.Emit("restore", map[string]any{
+			"seq": snap.Seq, "packets": e.packets, "windows": info.Windows, "path": snap.Path,
+		})
+	}
+	return info, nil
+}
+
+// applyRestoredGate moves a restored admission-controller state into the
+// freshly created source gate. Run/RunParallel setup only.
+func (e *Engine) applyRestoredGate() {
+	ck := e.ckpt
+	if ck == nil || ck.pendingGate == nil {
+		return
+	}
+	if g := e.srcGate; g != nil {
+		g.ctrl.ImportState(*ck.pendingGate)
+	}
+	ck.pendingGate = nil
+}
+
+// resumeFastForward skips the feed past the packets the snapshot already
+// accounts for. The feed must already be fault-wrapped: the wrapper's
+// deterministic RNG then replays the same drops/dups over the prefix,
+// leaving the remainder identical to the uninterrupted run's.
+func (e *Engine) resumeFastForward(feed trace.Feed) {
+	ck := e.ckpt
+	if ck == nil || ck.resumeSkip <= 0 {
+		return
+	}
+	for i := int64(0); i < ck.resumeSkip; i++ {
+		if _, ok := feed.Next(); !ok {
+			break
+		}
+	}
+	ck.resumeSkip = 0
+}
+
+// quiesceLow waits until every low-level worker has consumed everything
+// pushed to its ring. Parallel producer only, after flushing its batch
+// buffers; the consumed counters' release/acquire ordering makes the
+// workers' operator state safe to read afterwards.
+func (e *Engine) quiesceLow(rings []*ringbuf.Ring[trace.Packet]) {
+	for i, low := range e.low {
+		for low.consumed.Load() != rings[i].Pushed() {
+			runtime.Gosched()
+		}
+	}
+}
+
+func encodeGateState(e *checkpoint.Encoder, s overload.PersistentState) {
+	e.F64(s.P)
+	e.I64(int64(s.SinceUpdate))
+	e.U64(s.WinDrops)
+	e.U64(s.Offered)
+	e.U64(s.Admitted)
+	e.U64(s.Shed)
+	e.U64(s.Dropped)
+	e.I64(s.PeakOcc)
+	e.I64(int64(s.State))
+	for _, w := range s.Rng {
+		e.U64(w)
+	}
+}
+
+func decodeGateState(d *checkpoint.Decoder) overload.PersistentState {
+	s := overload.PersistentState{
+		P:           d.F64(),
+		SinceUpdate: int(d.I64()),
+		WinDrops:    d.U64(),
+		Offered:     d.U64(),
+		Admitted:    d.U64(),
+		Shed:        d.U64(),
+		Dropped:     d.U64(),
+		PeakOcc:     d.I64(),
+		State:       int32(d.I64()),
+	}
+	for i := range s.Rng {
+		s.Rng[i] = d.U64()
+	}
+	return s
+}

@@ -139,5 +139,15 @@ func (e *Engine) debugState() map[string]any {
 	if snaps := e.Overload(); len(snaps) > 0 {
 		st["overload"] = snaps
 	}
+	if f := e.Failures(); len(f) > 0 {
+		st["failures"] = f
+	}
+	if ck := e.ckpt; ck != nil {
+		st["checkpoint"] = map[string]any{
+			"dir":      ck.cfg.Dir,
+			"last_seq": ck.aSeq.Load(),
+			"written":  ck.aWritten.Load(),
+		}
+	}
 	return st
 }

@@ -15,6 +15,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,17 @@ type Node struct {
 	tuplesIn      int64
 	out           int64
 	low           bool
+	// Failure containment (see recovery.go): a panic inside the node's
+	// operator marks the node failed instead of crashing the process. The
+	// fields are owned by the goroutine processing the node; cross-goroutine
+	// readers go through Engine.Failures.
+	failed    bool
+	failMsg   string
+	failStack string
+	// consumed counts packets this node's RunParallel worker has fully
+	// processed; the producer's checkpoint quiesce waits for it to catch up
+	// with the ring's push count (see checkpoint.go).
+	consumed atomic.Uint64
 	// nm holds this node's telemetry gauges; nil when uninstrumented.
 	nm *nodeMetrics
 	// Provenance tracing (see tracing.go). tr is nil when tracing is off;
@@ -153,6 +165,15 @@ type Engine struct {
 
 	// Provenance tracer (see tracing.go); nil when tracing is off.
 	tr *tracing.Tracer
+
+	// Checkpoint schedule and restore state (see checkpoint.go); nil when
+	// checkpointing is off.
+	ckpt *ckptState
+
+	// Contained node failures (see recovery.go), mutex-guarded because
+	// RunParallel workers append concurrently and /debug reads them live.
+	failMu   sync.Mutex
+	failures []NodeFailure
 
 	// Overload admission and fault injection (see overload.go).
 	gateRegistry
@@ -265,9 +286,14 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 	if len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
+	if err := e.checkpointRunnable(false, 0); err != nil {
+		return err
+	}
 	feed = e.faults.Wrap(feed)
 	e.srcGate = e.newGate(e.resolveOverload(e.sourcePlan(), "source", "0"), e.ring, "source", "0")
 	e.setGates([]*ringGate{e.srcGate})
+	e.applyRestoredGate()
+	e.resumeFastForward(feed)
 	// ctxDone is nil for context.Background(), keeping the cancellation
 	// check off the packet loop entirely in the common case.
 	ctxDone := ctx.Done()
@@ -321,7 +347,13 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 				matches = e.tr.TakeSource(base, n)
 			}
 			for _, low := range e.low {
-				if err := e.processLowBatch(low, pkts, n, scratch, matches); err != nil {
+				if low.failed {
+					matches = nil
+					continue
+				}
+				if err := e.guardNode(low, func() error {
+					return e.processLowBatch(low, pkts, n, scratch, matches)
+				}); err != nil {
 					return err
 				}
 				matches = nil
@@ -334,14 +366,35 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 			}
 		}
 		e.srcGate.sync()
+		// The ring is drained and every node sits at a tuple boundary: the
+		// one place the serial loop can snapshot a resumable state.
+		if err := e.maybeCheckpoint(); err != nil {
+			return err
+		}
+	}
+	// A cancelled run writes its final snapshot before the bottom-up flush
+	// mutates every open window: the snapshot must describe the state a
+	// restored run resumes from, not the flushed aftermath.
+	if cancelled && e.ckpt != nil {
+		if err := e.writeCheckpoint(); err != nil {
+			return err
+		}
 	}
 	// End of stream (or cancellation): flush bottom-up.
 	for _, low := range e.low {
-		start := time.Now()
-		err := low.op.Flush()
-		low.busy += time.Since(start)
-		if err != nil {
-			return fmt.Errorf("engine: node %q: %w", low.name, err)
+		if low.failed {
+			continue
+		}
+		if err := e.guardNode(low, func() error {
+			start := time.Now()
+			err := low.op.Flush()
+			low.busy += time.Since(start)
+			if err != nil {
+				return fmt.Errorf("engine: node %q: %w", low.name, err)
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	if err := e.flushPartial(); err != nil {
@@ -351,11 +404,18 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 		return err
 	}
 	for _, h := range e.high {
-		start := time.Now()
-		err := h.op.Flush()
-		h.busy += time.Since(start)
-		if err != nil {
-			return fmt.Errorf("engine: node %q: %w", h.name, err)
+		if !h.failed {
+			if err := e.guardNode(h, func() error {
+				start := time.Now()
+				err := h.op.Flush()
+				h.busy += time.Since(start)
+				if err != nil {
+					return fmt.Errorf("engine: node %q: %w", h.name, err)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
 		}
 		if err := e.drainHigh(); err != nil {
 			return err
@@ -409,9 +469,15 @@ func (e *Engine) offerSource(p trace.Packet) {
 }
 
 // drainHigh processes queued tuples at every high-level node, in
-// topological order so cascades settle within one call.
+// topological order so cascades settle within one call. A failed node's
+// queue is discarded so its parents keep emitting without unbounded
+// buildup.
 func (e *Engine) drainHigh() error {
 	for _, h := range e.high {
+		if h.failed {
+			h.queue = nil
+			continue
+		}
 		if len(h.queue) == 0 {
 			continue
 		}
@@ -420,22 +486,27 @@ func (e *Engine) drainHigh() error {
 		if h.nm != nil {
 			h.nm.queue.Set(float64(len(q)))
 		}
-		start := time.Now()
-		for _, row := range q {
-			h.tuplesIn++
+		if err := e.guardNode(h, func() error {
+			start := time.Now()
+			for _, row := range q {
+				h.tuplesIn++
+				if h.tr != nil {
+					h.tr.SetCurrent(h.takeRowTraces())
+				}
+				if err := h.op.Process(row); err != nil {
+					h.busy += time.Since(start)
+					return fmt.Errorf("engine: node %q: %w", h.name, err)
+				}
+			}
 			if h.tr != nil {
-				h.tr.SetCurrent(h.takeRowTraces())
+				h.tr.ClearCurrent()
 			}
-			if err := h.op.Process(row); err != nil {
-				h.busy += time.Since(start)
-				return fmt.Errorf("engine: node %q: %w", h.name, err)
-			}
+			h.busy += time.Since(start)
+			h.syncTelemetry(len(h.queue))
+			return nil
+		}); err != nil {
+			return err
 		}
-		if h.tr != nil {
-			h.tr.ClearCurrent()
-		}
-		h.busy += time.Since(start)
-		h.syncTelemetry(len(h.queue))
 	}
 	return nil
 }

@@ -53,7 +53,11 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 	if len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
+	if err := e.checkpointRunnable(true, speedup); err != nil {
+		return err
+	}
 	feed = e.faults.Wrap(feed)
+	e.resumeFastForward(feed)
 
 	// Private ring per low-level selection node, same capacity as the
 	// source ring. In paced mode each ring gets an admission gate; unpaced
@@ -93,6 +97,7 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 		allGates = append(allGates, s.gates...)
 	}
 	e.setGates(allGates)
+	e.applyRestoredGate()
 
 	nWorkers := len(e.low) + len(e.high)
 	for _, s := range sets {
@@ -190,10 +195,31 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 					g.sync()
 				}
 			}
+			// Periodic checkpoint probe: quiesce the workers (checkpointing
+			// guarantees selection-only low nodes, unpaced), then snapshot if
+			// enough windows closed. A write failure is reported, not fatal —
+			// the stream keeps flowing and the next probe retries.
+			if ck := e.ckpt; ck != nil && ck.cfg.EveryWindows > 0 && e.packets%ckptProbeInterval == 0 {
+				flushLow()
+				e.quiesceLow(rings)
+				if err := e.maybeCheckpoint(); err != nil {
+					reportErr(err)
+				}
+			}
 		}
 		flushLow()
 		for _, s := range sets {
 			s.flushAll()
+		}
+		// A cancelled run writes its final snapshot after quiescing the
+		// workers but before producerDone releases them into their
+		// end-of-stream flush (which would mutate the open windows the
+		// snapshot must preserve).
+		if ck := e.ckpt; ck != nil && cancelled {
+			e.quiesceLow(rings)
+			if err := e.writeCheckpoint(); err != nil {
+				reportErr(err)
+			}
 		}
 		for _, g := range allGates {
 			g.sync()
@@ -202,20 +228,28 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 
 	var wg sync.WaitGroup
 
-	// Low-level selection consumers.
+	// Low-level selection consumers. A worker whose node errors or panics
+	// does not return early — it switches to drain mode (pop, count,
+	// discard) so the producer's backpressure and checkpoint quiesce keep
+	// moving, and closes its subscribers without a flush at end of stream.
 	for i, low := range e.low {
 		wg.Add(1)
 		go func(low *Node, ring *ringbuf.Ring[trace.Packet]) {
 			defer wg.Done()
 			batch := make([]trace.Packet, 256)
 			scratch := make(tuple.Tuple, trace.NumFields)
+			dead := false // erred (reported) or failed (contained panic)
 			for {
 				n := ring.PopBatch(batch)
 				if n == 0 {
 					select {
 					case <-producerDone:
 						if ring.Len() == 0 {
-							e.finishLow(low, chans, reportErr)
+							if dead {
+								finishLowFailed(low, chans)
+							} else {
+								e.finishLow(low, chans, reportErr)
+							}
 							return
 						}
 					default:
@@ -223,21 +257,36 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 					}
 					continue
 				}
+				if dead {
+					low.consumed.Add(uint64(n))
+					continue
+				}
 				if d := e.consumerDelay(); d > 0 {
 					time.Sleep(d)
 				}
-				start := time.Now()
-				for j := 0; j < n; j++ {
-					batch[j].AppendTuple(scratch)
-					low.tuplesIn++
-					if err := low.processParallel(scratch, chans); err != nil {
-						low.busy += time.Since(start)
-						reportErr(fmt.Errorf("engine: node %q: %w", low.name, err))
-						e.finishLow(low, chans, reportErr)
-						return
+				err := e.guardNode(low, func() error {
+					start := time.Now()
+					for j := 0; j < n; j++ {
+						batch[j].AppendTuple(scratch)
+						low.tuplesIn++
+						if err := low.processParallel(scratch, chans); err != nil {
+							low.busy += time.Since(start)
+							return fmt.Errorf("engine: node %q: %w", low.name, err)
+						}
 					}
+					low.busy += time.Since(start)
+					return nil
+				})
+				low.consumed.Add(uint64(n))
+				if err != nil {
+					reportErr(err)
+					dead = true
+					continue
 				}
-				low.busy += time.Since(start)
+				if low.failed {
+					dead = true
+					continue
+				}
 				low.syncTelemetry(0)
 				low.syncRing(ring)
 			}
@@ -257,29 +306,34 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 
 	// High-level consumers (each node's channel is closed by its parent
 	// after the parent flushes — for a sharded parent, by its last
-	// finishing shard worker).
+	// finishing shard worker). A panic is contained like an error, except
+	// nothing is reported: the node is failed, its input drains, and the
+	// run's other queries proceed.
 	for _, h := range e.high {
 		wg.Add(1)
 		go func(h *Node) {
 			defer wg.Done()
-			failed := false
+			dead := false
 			for row := range chans[h] {
-				if failed {
+				if dead {
 					continue // drain so the parent never blocks
 				}
 				start := time.Now()
 				h.tuplesIn++
-				err := h.opProcessParallel(row, chans)
+				err := e.guardNode(h, func() error { return h.opProcessParallel(row, chans) })
 				h.busy += time.Since(start)
 				h.syncTelemetry(len(chans[h]))
 				if err != nil {
 					reportErr(fmt.Errorf("engine: node %q: %w", h.name, err))
-					failed = true
+					dead = true
+				}
+				if h.failed {
+					dead = true
 				}
 			}
-			if !failed {
+			if !dead {
 				start := time.Now()
-				err := h.opFlushParallel(chans)
+				err := e.guardNode(h, func() error { return h.opFlushParallel(chans) })
 				h.busy += time.Since(start)
 				if err != nil {
 					reportErr(fmt.Errorf("engine: node %q: %w", h.name, err))
@@ -310,11 +364,22 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 	}
 }
 
+// finishLowFailed closes a dead low node's subscriber channels without
+// flushing its (untrusted or already-erred) operator.
+func finishLowFailed(low *Node, chans map[*Node]chan tuple.Tuple) {
+	for _, sub := range low.subs {
+		close(chans[sub])
+	}
+}
+
 // finishLow flushes a low node and closes its subscribers' channels.
 func (e *Engine) finishLow(low *Node, chans map[*Node]chan tuple.Tuple, reportErr func(error)) {
-	start := time.Now()
-	err := low.opFlushParallel(chans)
-	low.busy += time.Since(start)
+	err := e.guardNode(low, func() error {
+		start := time.Now()
+		err := low.opFlushParallel(chans)
+		low.busy += time.Since(start)
+		return err
+	})
 	if err != nil {
 		reportErr(fmt.Errorf("engine: node %q: %w", low.name, err))
 	}

@@ -284,15 +284,23 @@ func (n *PartialNode) process(t tuple.Tuple) error {
 // charging busy time per node.
 func (e *Engine) runPartialBatch(pkts []trace.Packet, count int, scratch tuple.Tuple) error {
 	for _, n := range e.lowPartial {
-		start := time.Now()
-		for i := 0; i < count; i++ {
-			pkts[i].AppendTuple(scratch)
-			if err := n.process(scratch); err != nil {
-				n.busy += time.Since(start)
-				return err
-			}
+		if n.failed {
+			continue
 		}
-		n.busy += time.Since(start)
+		if err := e.guardNode(&n.Node, func() error {
+			start := time.Now()
+			for i := 0; i < count; i++ {
+				pkts[i].AppendTuple(scratch)
+				if err := n.process(scratch); err != nil {
+					n.busy += time.Since(start)
+					return err
+				}
+			}
+			n.busy += time.Since(start)
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -300,10 +308,15 @@ func (e *Engine) runPartialBatch(pkts []trace.Packet, count int, scratch tuple.T
 // flushPartial closes all partial nodes at end of stream.
 func (e *Engine) flushPartial() error {
 	for _, n := range e.lowPartial {
-		start := time.Now()
-		err := n.table.flush()
-		n.busy += time.Since(start)
-		if err != nil {
+		if n.failed {
+			continue
+		}
+		if err := e.guardNode(&n.Node, func() error {
+			start := time.Now()
+			err := n.table.flush()
+			n.busy += time.Since(start)
+			return err
+		}); err != nil {
 			return err
 		}
 	}

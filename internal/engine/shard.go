@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -145,7 +146,7 @@ func (w *shardWorker) run(producerDone <-chan struct{}, reportErr func(error)) {
 		if fe := s.flushEpoch.Load(); fe != w.ackEpoch.Load() {
 			if !w.failed {
 				start := time.Now()
-				err := w.table.flush()
+				err := safeCall(w.table.flush)
 				w.busy += time.Since(start)
 				if err != nil {
 					w.fail(reportErr, err)
@@ -181,7 +182,7 @@ func (w *shardWorker) run(producerDone <-chan struct{}, reportErr func(error)) {
 		for i := 0; i < n; i++ {
 			batch[i].AppendTuple(scratch)
 			w.tuplesIn++
-			if err := w.table.process(scratch); err != nil {
+			if err := safeCall(func() error { return w.table.process(scratch) }); err != nil {
 				w.busy += time.Since(start)
 				w.fail(reportErr, err)
 				w.folded.Add(uint64(n))
@@ -201,13 +202,26 @@ func (w *shardWorker) fail(reportErr func(error), err error) {
 	w.failed = true
 }
 
+// safeCall runs fn, converting a panic into an error so the shard
+// worker's existing fail/drain path contains it instead of crashing the
+// process. (A shard replica is one stripe of a node, so the whole node is
+// reported failed — consistent with the error path.)
+func safeCall(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn()
+}
+
 // finish flushes the residual stripe at end of stream; the last worker
 // out closes the node's subscriber channels.
 func (w *shardWorker) finish(reportErr func(error)) {
 	s := w.set
 	if !w.failed {
 		start := time.Now()
-		err := w.table.flush()
+		err := safeCall(w.table.flush)
 		w.busy += time.Since(start)
 		if err != nil {
 			w.fail(reportErr, err)

@@ -1,0 +1,303 @@
+package operator_test
+
+import (
+	"testing"
+
+	"streamop/internal/checkpoint"
+	"streamop/internal/gsql"
+	"streamop/internal/operator"
+	"streamop/internal/sample/quantile"
+	"streamop/internal/sfunlib"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// compile builds a fresh operator (with its own registry so instance
+// counters don't leak between runs) appending rows to *out.
+func compile(t *testing.T, src string, seed uint64, out *[]tuple.Tuple) *operator.Operator {
+	t.Helper()
+	q, err := gsql.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	plan, err := gsql.Analyze(q, trace.Schema(), sfunlib.Default(seed))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	op, err := operator.New(plan, func(row tuple.Tuple) error {
+		*out = append(*out, row.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func feedPackets(t *testing.T, op *operator.Operator, pkts []trace.Packet) {
+	t.Helper()
+	buf := make(tuple.Tuple, trace.NumFields)
+	for _, p := range pkts {
+		p.AppendTuple(buf)
+		if err := op.Process(buf.Clone()); err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+	}
+}
+
+func rowsEqual(a, b []tuple.Tuple) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return i, false
+		}
+		for j := range a[i] {
+			if value.Compare(a[i][j], b[i][j]) != 0 {
+				return i, false
+			}
+		}
+	}
+	return 0, true
+}
+
+// checkpointQueries covers every sampling family the operator hosts, in
+// both shapes the snapshot codec distinguishes: selection (per-plan
+// selStates) and group-by (supergroup tables with handoff).
+var checkpointQueries = []struct {
+	name string
+	src  string
+}{
+	{"subsetsum-selection", `
+SELECT time, srcIP, len
+FROM PKT
+WHERE ssample(len, 100, 2, 10) = TRUE`},
+	{"reservoir", `
+SELECT tb, srcIP, destIP
+FROM PKT
+WHERE rsample(uts, 100, 5) = TRUE
+GROUP BY time/60 as tb, srcIP, destIP, uts
+HAVING rsfinal_clean(uts) = TRUE
+CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY rsclean_with(uts) = TRUE`},
+	{"heavyhitter", `
+SELECT tb, srcIP, sum(len), count(*)
+FROM PKT
+GROUP BY time/60 as tb, srcIP
+HAVING count(*) >= 100
+CLEANING WHEN local_count(1000) = TRUE
+CLEANING BY count(*) >= current_bucket() - first(current_bucket())`},
+	{"distinct", `
+SELECT tb, HX, count(*), dsscale()
+FROM PKT
+WHERE dsample(HX, 512) = TRUE
+GROUP BY time/60 as tb, H(destIP) as HX
+CLEANING WHEN dsdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY dskeep(HX) = TRUE`},
+	{"priority", `
+SELECT tb, uts, srcIP, UMAX(sum(len), pstau()) AS adjlen
+FROM PKT
+WHERE psample(uts, len, 200) = TRUE
+GROUP BY time/20 as tb, srcIP, uts
+HAVING pskeep(uts) = TRUE
+CLEANING WHEN psdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY pskeep(uts) = TRUE`},
+}
+
+// TestSnapshotRestoreExactResume is the operator half of the exact-resume
+// guarantee, for every sampling family: run half the stream, snapshot,
+// restore into a brand-new operator, finish the stream on both — the
+// interrupted run's combined output must equal the uninterrupted one
+// row-for-row, and the two final snapshots must be byte-identical.
+func TestSnapshotRestoreExactResume(t *testing.T) {
+	for _, tc := range checkpointQueries {
+		t.Run(tc.name, func(t *testing.T) {
+			pkts := synthPackets(20000, 110, 200, 100, 7)
+			cut := len(pkts) / 2
+
+			// Uninterrupted reference.
+			var ref []tuple.Tuple
+			opRef := compile(t, tc.src, 1, &ref)
+			feedPackets(t, opRef, pkts)
+			if err := opRef.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: snapshot mid-stream at a tuple boundary.
+			var got []tuple.Tuple
+			opA := compile(t, tc.src, 1, &got)
+			feedPackets(t, opA, pkts[:cut])
+			enc := checkpoint.NewEncoder()
+			if err := opA.Snapshot(enc); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			blob := enc.Bytes()
+
+			opB := compile(t, tc.src, 1, &got)
+			d := checkpoint.NewDecoder(blob)
+			if err := opB.Restore(d); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("%d bytes left after restore", d.Remaining())
+			}
+			feedPackets(t, opB, pkts[cut:])
+			if err := opB.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			if i, ok := rowsEqual(ref, got); !ok {
+				t.Fatalf("resumed output diverges from reference at row %d (%d vs %d rows)", i, len(ref), len(got))
+			}
+			if opRef.Stats() != opB.Stats() {
+				t.Fatalf("stats diverged: %+v vs %+v", opRef.Stats(), opB.Stats())
+			}
+		})
+	}
+}
+
+// TestSnapshotIsDeterministic: snapshotting the same state twice (and the
+// restored copy once) yields identical bytes — what the engine's
+// byte-identity property test builds on.
+func TestSnapshotIsDeterministic(t *testing.T) {
+	pkts := synthPackets(5000, 50, 100, 100, 3)
+	var sink []tuple.Tuple
+	op := compile(t, checkpointQueries[1].src, 1, &sink)
+	feedPackets(t, op, pkts)
+
+	e1 := checkpoint.NewEncoder()
+	if err := op.Snapshot(e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := checkpoint.NewEncoder()
+	if err := op.Snapshot(e2); err != nil {
+		t.Fatal(err)
+	}
+	if string(e1.Bytes()) != string(e2.Bytes()) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+
+	var sink2 []tuple.Tuple
+	op2 := compile(t, checkpointQueries[1].src, 1, &sink2)
+	if err := op2.Restore(checkpoint.NewDecoder(e1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	e3 := checkpoint.NewEncoder()
+	if err := op2.Snapshot(e3); err != nil {
+		t.Fatal(err)
+	}
+	if string(e1.Bytes()) != string(e3.Bytes()) {
+		t.Fatal("restored operator re-encodes differently")
+	}
+}
+
+// TestSnapshotSupergroupInOldNotNew is the ISSUE's handoff edge case: a
+// supergroup that lives only in the old-window table (its key has not yet
+// recurred after rotation) must survive the snapshot, so a post-restore
+// recurrence performs the identical SFUN handoff.
+func TestSnapshotSupergroupInOldNotNew(t *testing.T) {
+	src := `
+SELECT tb, srcIP, sum(len)
+FROM PKT
+WHERE ssample(len, 100, 2, 10) = TRUE
+GROUP BY time/10 as tb, srcIP`
+	mk := func(sec uint64, src uint32, ln uint16) trace.Packet {
+		return trace.Packet{Time: sec * 1e9, SrcIP: src, Len: ln}
+	}
+	// Window 0: sources 1 and 2. Window 1: only source 2 so far — source
+	// 1's supergroup sits in the old table, absent from the new one.
+	warm := []trace.Packet{}
+	for i := uint64(0); i < 200; i++ {
+		warm = append(warm, mk(i%9, 1, uint16(50+i)), mk(i%9, 2, uint16(60+i)))
+	}
+	warm = append(warm, mk(11, 2, 70)) // rotates the window
+	// Source 1 recurs later in window 1: handoff reads the old state.
+	tail := []trace.Packet{}
+	for i := uint64(0); i < 200; i++ {
+		tail = append(tail, mk(12+i%7, 1, uint16(80+i)), mk(12+i%7, 2, uint16(90+i)))
+	}
+	tail = append(tail, mk(25, 1, 100))
+
+	var ref []tuple.Tuple
+	opRef := compile(t, src, 1, &ref)
+	feedPackets(t, opRef, warm)
+	feedPackets(t, opRef, tail)
+	if err := opRef.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []tuple.Tuple
+	opA := compile(t, src, 1, &got)
+	feedPackets(t, opA, warm)
+	enc := checkpoint.NewEncoder()
+	if err := opA.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	opB := compile(t, src, 1, &got)
+	if err := opB.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	feedPackets(t, opB, tail)
+	if err := opB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := rowsEqual(ref, got); !ok {
+		t.Fatalf("old-table handoff diverged at row %d (%d vs %d rows)", i, len(ref), len(got))
+	}
+}
+
+// TestRestoreRejectsCorruptPayload: every truncation of a valid operator
+// snapshot must fail with an error, never panic or silently succeed with
+// partial state.
+func TestRestoreRejectsCorruptPayload(t *testing.T) {
+	pkts := synthPackets(3000, 30, 50, 100, 9)
+	var sink []tuple.Tuple
+	op := compile(t, checkpointQueries[4].src, 1, &sink)
+	feedPackets(t, op, pkts)
+	enc := checkpoint.NewEncoder()
+	if err := op.Snapshot(enc); err != nil {
+		t.Fatal(err)
+	}
+	blob := enc.Bytes()
+	for _, n := range []int{0, 1, 7, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+		var s2 []tuple.Tuple
+		op2 := compile(t, checkpointQueries[4].src, 1, &s2)
+		d := checkpoint.NewDecoder(blob[:n])
+		if err := op2.Restore(d); err == nil && d.Err() == nil && d.Remaining() == 0 && n != len(blob) {
+			t.Fatalf("truncation to %d bytes accepted silently", n)
+		}
+	}
+}
+
+// TestSnapshotRejectsUDAF: user-defined aggregates carry arbitrary state
+// with no codec; a plan using one must refuse to snapshot with a clear
+// error instead of writing an unrestorable file.
+func TestSnapshotRejectsUDAF(t *testing.T) {
+	reg := sfunlib.Default(1)
+	if err := quantile.RegisterUDAF(reg); err != nil {
+		t.Fatal(err)
+	}
+	q, err := gsql.Parse(`SELECT tb, srcIP, quantile(len, 0.5, 0.01) FROM PKT GROUP BY time/10 as tb, srcIP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gsql.Analyze(q, trace.Schema(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := operator.New(plan, func(tuple.Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(tuple.Tuple, trace.NumFields)
+	trace.Packet{Time: 1e9, SrcIP: 1, Len: 10}.AppendTuple(buf)
+	if err := op.Process(buf.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	enc := checkpoint.NewEncoder()
+	if err := op.Snapshot(enc); err == nil {
+		t.Fatal("snapshot of a UDAF plan succeeded; want an error")
+	}
+}

@@ -1,0 +1,95 @@
+package ost
+
+import (
+	"streamop/internal/checkpoint"
+	"streamop/internal/value"
+)
+
+// Encode serializes the multiset: the generator state first, then the
+// distinct (value, multiplicity) pairs in ascending order. Tree shape is
+// not serialized — every order-statistic operation depends only on the
+// multiset contents, so a restored tree rebuilt with fresh priorities
+// answers Kth/Rank/Min/Max identically; restoring the generator state
+// keeps future insertions drawing the same priority stream the original
+// tree would have drawn.
+func (t *Tree) Encode(e *checkpoint.Encoder) {
+	for _, w := range t.rng.State() {
+		e.U64(w)
+	}
+	distinct := 0
+	countNodes(t.root, &distinct)
+	e.Len(distinct)
+	encodeNodes(t.root, e)
+}
+
+func countNodes(n *node, total *int) {
+	if n == nil {
+		return
+	}
+	countNodes(n.left, total)
+	*total++
+	countNodes(n.right, total)
+}
+
+func encodeNodes(n *node, e *checkpoint.Encoder) {
+	if n == nil {
+		return
+	}
+	encodeNodes(n.left, e)
+	e.Value(n.val)
+	e.U32(uint32(n.count))
+	encodeNodes(n.right, e)
+}
+
+// Decode rebuilds a multiset serialized by Encode. On malformed input it
+// records an error on the decoder and returns nil.
+func Decode(d *checkpoint.Decoder) *Tree {
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	n := d.Len()
+	t := New(1) // rebuild priorities; real generator state restored below
+	for i := 0; i < n; i++ {
+		v := d.Value()
+		c := int(d.U32())
+		if d.Err() != nil {
+			return nil
+		}
+		if c <= 0 {
+			d.Fail("ost: non-positive multiplicity %d", c)
+			return nil
+		}
+		t.root = t.insertN(t.root, v, c)
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	t.rng.SetState(st)
+	return t
+}
+
+// insertN is insert with an initial multiplicity, used only by Decode.
+func (t *Tree) insertN(n *node, v value.Value, count int) *node {
+	if n == nil {
+		return &node{val: v, prio: t.rng.Uint64(), count: count, size: count}
+	}
+	switch c := value.Compare(v, n.val); {
+	case c == 0:
+		n.count += count
+		n.size += count
+		return n
+	case c < 0:
+		n.left = t.insertN(n.left, v, count)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	default:
+		n.right = t.insertN(n.right, v, count)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	n.recalc()
+	return n
+}

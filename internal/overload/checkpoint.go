@@ -1,0 +1,53 @@
+package overload
+
+import "math"
+
+// PersistentState is the portion of a Controller that must survive a
+// checkpoint/restore cycle for a resumed run to make the same admission
+// decisions: the AIMD probability and its observation-window progress, the
+// exact accounting counters, and the admission draw's RNG state.
+type PersistentState struct {
+	P           float64
+	SinceUpdate int
+	WinDrops    uint64
+	Offered     uint64
+	Admitted    uint64
+	Shed        uint64
+	Dropped     uint64
+	PeakOcc     int64
+	State       int32
+	Rng         [4]uint64
+}
+
+// ExportState captures the controller's persistent state. Producer
+// goroutine only (it reads the producer-owned fields).
+func (c *Controller) ExportState() PersistentState {
+	return PersistentState{
+		P:           c.p,
+		SinceUpdate: c.sinceUpdate,
+		WinDrops:    c.winDrops,
+		Offered:     c.offered.Load(),
+		Admitted:    c.admitted.Load(),
+		Shed:        c.shed.Load(),
+		Dropped:     c.dropped.Load(),
+		PeakOcc:     c.peakOcc.Load(),
+		State:       c.state.Load(),
+		Rng:         c.rng.State(),
+	}
+}
+
+// ImportState restores a state captured by ExportState. Producer goroutine
+// only, before the first Admit/ObserveRing call.
+func (c *Controller) ImportState(s PersistentState) {
+	c.p = s.P
+	c.sinceUpdate = s.SinceUpdate
+	c.winDrops = s.WinDrops
+	c.offered.Store(s.Offered)
+	c.admitted.Store(s.Admitted)
+	c.shed.Store(s.Shed)
+	c.dropped.Store(s.Dropped)
+	c.peakOcc.Store(s.PeakOcc)
+	c.state.Store(s.State)
+	c.pBits.Store(math.Float64bits(s.P))
+	c.rng.SetState(s.Rng)
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"streamop/internal/checkpoint"
 	"streamop/internal/value"
 )
 
@@ -31,6 +32,24 @@ type StateType struct {
 	// final_init signal). States typically use it to arm end-of-window
 	// subsampling.
 	WindowFinal func(state any)
+
+	// Encode serializes one state instance (as produced by Init) for a
+	// checkpoint; Decode rebuilds it. They mirror the Init handoff: a
+	// decoded state must be indistinguishable from the live one, so a
+	// restored run continues the exact sampling decisions of the
+	// original. State types that leave these nil are not checkpointable
+	// and cause the operator's snapshot to fail with a clear error.
+	Encode func(state any, e *checkpoint.Encoder) error
+	Decode func(d *checkpoint.Decoder) (any, error)
+
+	// EncodeShared / DecodeShared checkpoint registry-level context
+	// shared across instances of this state type — typically the
+	// per-registry instance counter that derives each new supergroup's
+	// RNG seed. Restoring it guarantees supergroups created after a
+	// resume draw the same seeds they would have drawn in an
+	// uninterrupted run. Either both or neither must be set.
+	EncodeShared func(e *checkpoint.Encoder)
+	DecodeShared func(d *checkpoint.Decoder) error
 }
 
 // Func describes one stateful (or stateless scalar) function.
@@ -126,6 +145,12 @@ func (r *Registry) MustRegisterAgg(a *AggFunc) {
 func (r *Registry) RegisterState(st *StateType) error {
 	if st.Name == "" || st.Init == nil {
 		return fmt.Errorf("sfun: state type needs a name and an Init function")
+	}
+	if (st.Encode == nil) != (st.Decode == nil) {
+		return fmt.Errorf("sfun: state %q must set Encode and Decode together", st.Name)
+	}
+	if (st.EncodeShared == nil) != (st.DecodeShared == nil) {
+		return fmt.Errorf("sfun: state %q must set EncodeShared and DecodeShared together", st.Name)
 	}
 	key := strings.ToLower(st.Name)
 	if _, dup := r.states[key]; dup {

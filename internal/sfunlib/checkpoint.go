@@ -1,0 +1,222 @@
+package sfunlib
+
+import (
+	"fmt"
+
+	"streamop/internal/checkpoint"
+	"streamop/internal/xrand"
+)
+
+// Checkpoint codecs for the library's state blobs. Each family serializes
+// every field that influences a future sampling decision — thresholds,
+// counters, pending skips, member sets, and the full RNG state — so a
+// restored state is bit-for-bit interchangeable with the live one.
+// Redundant lookup structures (the reservoir's and priority sampler's tag
+// sets) are rebuilt from their authoritative siblings instead of being
+// stored twice.
+
+func encodeRng(e *checkpoint.Encoder, r *xrand.Rand) {
+	for _, w := range r.State() {
+		e.U64(w)
+	}
+}
+
+func decodeRng(d *checkpoint.Decoder) *xrand.Rand {
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	r := xrand.New(0)
+	r.SetState(st)
+	return r
+}
+
+func encodeSS(state any, e *checkpoint.Encoder) error {
+	s, err := asSS(state)
+	if err != nil {
+		return err
+	}
+	e.Bool(s.configured)
+	e.I64(int64(s.n))
+	e.F64(s.theta)
+	e.F64(s.relax)
+	e.F64(s.z)
+	e.F64(s.zPrev)
+	e.F64(s.counter)
+	e.F64(s.cleanCtr)
+	e.I64(int64(s.big))
+	e.I64(int64(s.cleanings))
+	e.Bool(s.finalArmed)
+	e.Bool(s.finalPrepared)
+	e.Bool(s.subsampling)
+	return nil
+}
+
+func decodeSS(d *checkpoint.Decoder) (any, error) {
+	s := &ssState{
+		configured:    d.Bool(),
+		n:             int(d.I64()),
+		theta:         d.F64(),
+		relax:         d.F64(),
+		z:             d.F64(),
+		zPrev:         d.F64(),
+		counter:       d.F64(),
+		cleanCtr:      d.F64(),
+		big:           int(d.I64()),
+		cleanings:     int(d.I64()),
+		finalArmed:    d.Bool(),
+		finalPrepared: d.Bool(),
+		subsampling:   d.Bool(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodeBSS(state any, e *checkpoint.Encoder) error {
+	s, ok := state.(*bssState)
+	if !ok {
+		return fmt.Errorf("basic_subsetsum_state: wrong state type %T", state)
+	}
+	e.F64(s.counter)
+	return nil
+}
+
+func decodeBSS(d *checkpoint.Decoder) (any, error) {
+	s := &bssState{counter: d.F64()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodeRS(state any, e *checkpoint.Encoder) error {
+	s, err := asRS(state)
+	if err != nil {
+		return err
+	}
+	e.Bool(s.configured)
+	e.I64(int64(s.n))
+	e.F64(s.tol)
+	encodeRng(e, s.rng)
+	e.I64(s.seen)
+	e.I64(s.skip)
+	e.Len(len(s.order))
+	for _, tag := range s.order {
+		e.U64(tag)
+	}
+	return nil
+}
+
+func decodeRS(d *checkpoint.Decoder) (any, error) {
+	s := &rsState{
+		configured: d.Bool(),
+		n:          int(d.I64()),
+		tol:        d.F64(),
+		rng:        decodeRng(d),
+		seen:       d.I64(),
+		skip:       d.I64(),
+	}
+	n := d.Len()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > 0 || s.configured {
+		s.order = make([]uint64, 0, n)
+		s.tags = make(map[uint64]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		tag := d.U64()
+		s.order = append(s.order, tag)
+		s.tags[tag] = true
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodeHH(state any, e *checkpoint.Encoder) error {
+	s, err := asHH(state)
+	if err != nil {
+		return err
+	}
+	e.I64(s.w)
+	e.I64(s.count)
+	return nil
+}
+
+func decodeHH(d *checkpoint.Decoder) (any, error) {
+	s := &hhState{w: d.I64(), count: d.I64()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodeDS(state any, e *checkpoint.Encoder) error {
+	s, err := asDS(state)
+	if err != nil {
+		return err
+	}
+	e.Bool(s.configured)
+	e.I64(int64(s.capacity))
+	e.U64(uint64(s.level))
+	return nil
+}
+
+func decodeDS(d *checkpoint.Decoder) (any, error) {
+	s := &dsState{
+		configured: d.Bool(),
+		capacity:   int(d.I64()),
+		level:      uint(d.U64()),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodePS(state any, e *checkpoint.Encoder) error {
+	s, err := asPS(state)
+	if err != nil {
+		return err
+	}
+	e.Bool(s.configured)
+	e.I64(int64(s.k))
+	encodeRng(e, s.rng)
+	e.F64(s.tau)
+	// The heap's backing array round-trips as-is: container/heap order is
+	// a property of the slice, so the restored slice is a valid heap.
+	e.Len(len(s.items))
+	for _, m := range s.items {
+		e.U64(m.tag)
+		e.F64(m.priority)
+	}
+	return nil
+}
+
+func decodePS(d *checkpoint.Decoder) (any, error) {
+	s := &psState{
+		configured: d.Bool(),
+		k:          int(d.I64()),
+		rng:        decodeRng(d),
+		tau:        d.F64(),
+		tags:       map[uint64]bool{},
+	}
+	n := d.Len()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s.items = make(psHeap, 0, n)
+	for i := 0; i < n; i++ {
+		m := psMember{tag: d.U64(), priority: d.F64()}
+		s.items = append(s.items, m)
+		s.tags[m.tag] = true
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,254 @@
+package sfunlib
+
+import (
+	"bytes"
+	"testing"
+
+	"streamop/internal/checkpoint"
+	"streamop/internal/sfun"
+	"streamop/internal/value"
+	"streamop/internal/xrand"
+)
+
+// step is one scripted stateful-function call: the function name and an
+// argument builder fed the step index, so scripts can vary their inputs.
+type step struct {
+	fn   string
+	args func(i int) []value.Value
+}
+
+func vi(n int64) value.Value  { return value.NewInt(n) }
+func vu(n uint64) value.Value { return value.NewUint(n) }
+
+// familyScripts drives each checkpointable state family through a
+// realistic mix of its functions (admission, threshold reads, cleaning).
+func familyScripts(rng *xrand.Rand) map[string][]step {
+	randLen := func(i int) []value.Value {
+		return []value.Value{vi(40 + int64(rng.Intn(1460))), vi(100), vi(2), vi(10)}
+	}
+	return map[string][]step{
+		SubsetSumStateName: {
+			{"ssample", randLen},
+			{"ssthreshold", func(int) []value.Value { return nil }},
+			{"ssdo_clean", func(i int) []value.Value { return []value.Value{vi(int64(150 + i))} }},
+			{"ssclean_with", func(i int) []value.Value { return []value.Value{vi(40 + int64(rng.Intn(1460)))} }},
+		},
+		BasicSubsetSumStateName: {
+			{"bssample", func(i int) []value.Value { return []value.Value{vi(1 + int64(rng.Intn(100))), vi(50)} }},
+		},
+		ReservoirStateName: {
+			{"rsample", func(i int) []value.Value { return []value.Value{vu(uint64(i)), vi(20), vi(5)} }},
+			{"rsdo_clean", func(i int) []value.Value { return []value.Value{vi(int64(i % 40))} }},
+			{"rsclean_with", func(i int) []value.Value { return []value.Value{vu(uint64(i / 2))} }},
+		},
+		HeavyHitterStateName: {
+			{"local_count", func(int) []value.Value { return []value.Value{vi(50)} }},
+			{"current_bucket", func(int) []value.Value { return nil }},
+		},
+		DistinctStateName: {
+			{"dsample", func(i int) []value.Value { return []value.Value{vu(rng.Uint64()), vi(16)} }},
+			{"dsdo_clean", func(i int) []value.Value { return []value.Value{vi(int64(i % 30))} }},
+			{"dskeep", func(i int) []value.Value { return []value.Value{vu(rng.Uint64())} }},
+			{"dsscale", func(int) []value.Value { return nil }},
+		},
+		PriorityStateName: {
+			{"psample", func(i int) []value.Value { return []value.Value{vu(uint64(i)), vi(1 + int64(rng.Intn(1000))), vi(10)} }},
+			{"pskeep", func(i int) []value.Value { return []value.Value{vu(uint64(i / 2))} }},
+			{"psdo_clean", func(i int) []value.Value { return []value.Value{vi(int64(i % 50))} }},
+			{"pstau", func(int) []value.Value { return nil }},
+		},
+	}
+}
+
+func encodeState(t *testing.T, st *sfun.StateType, state any) []byte {
+	t.Helper()
+	e := checkpoint.NewEncoder()
+	if err := st.Encode(state, e); err != nil {
+		t.Fatalf("%s: encode: %v", st.Name, err)
+	}
+	return e.Bytes()
+}
+
+// TestStateRoundTripExactResume is the sampling-decision half of the
+// checkpoint contract at the SFUN layer: drive each family mid-stream,
+// encode/decode its state, then keep driving the original and the restored
+// copy with identical inputs — every return value must match, and the
+// final states must re-encode to identical bytes.
+func TestStateRoundTripExactResume(t *testing.T) {
+	for name, script := range familyScripts(xrand.New(7)) {
+		t.Run(name, func(t *testing.T) {
+			reg := Default(1234)
+			st, ok := reg.State(name)
+			if !ok {
+				t.Fatalf("state %q not registered", name)
+			}
+			state := st.Init(nil)
+
+			run := func(s any, i int) []value.Value {
+				var out []value.Value
+				for _, stp := range script {
+					fn, ok := reg.Func(stp.fn)
+					if !ok {
+						t.Fatalf("func %q not registered", stp.fn)
+					}
+					v, err := fn.Call(s, stp.args(i))
+					if err != nil {
+						t.Fatalf("%s step %d: %v", stp.fn, i, err)
+					}
+					out = append(out, v)
+				}
+				return out
+			}
+			// Argument builders draw from a shared generator, so build
+			// the input sequence once and replay it on both copies.
+			type call struct{ argsets [][]value.Value }
+			script2 := script
+			prefix := 120
+			for i := 0; i < prefix; i++ {
+				run(state, i)
+			}
+
+			blob := encodeState(t, st, state)
+			d := checkpoint.NewDecoder(blob)
+			restored, err := st.Decode(d)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("%d bytes left over", d.Remaining())
+			}
+
+			// Same bytes when re-encoded immediately.
+			if !bytes.Equal(blob, encodeState(t, st, restored)) {
+				t.Fatal("restored state re-encodes differently")
+			}
+
+			// Identical behavior afterwards: pre-build each step's args so
+			// both copies see the same inputs.
+			for i := prefix; i < prefix+120; i++ {
+				var argsets call
+				for _, stp := range script2 {
+					argsets.argsets = append(argsets.argsets, stp.args(i))
+				}
+				for j, stp := range script2 {
+					fn, _ := reg.Func(stp.fn)
+					a, errA := fn.Call(state, argsets.argsets[j])
+					b, errB := fn.Call(restored, argsets.argsets[j])
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("%s step %d: error divergence %v vs %v", stp.fn, i, errA, errB)
+					}
+					if value.Compare(a, b) != 0 {
+						t.Fatalf("%s step %d: %v vs %v", stp.fn, i, a, b)
+					}
+				}
+			}
+			if !bytes.Equal(encodeState(t, st, state), encodeState(t, st, restored)) {
+				t.Fatal("states diverged after post-restore calls")
+			}
+		})
+	}
+}
+
+// TestSharedContextRoundTrip checks the registry-level shared state
+// (the reservoir and priority instance counters): after restoring the
+// shared context into a second registry, newly created state instances
+// draw the same RNG seeds, so their sampling decisions match exactly.
+func TestSharedContextRoundTrip(t *testing.T) {
+	for _, name := range []string{ReservoirStateName, PriorityStateName} {
+		t.Run(name, func(t *testing.T) {
+			regA := Default(42)
+			stA, _ := regA.State(name)
+			if stA.EncodeShared == nil || stA.DecodeShared == nil {
+				t.Fatalf("%s: no shared-context hooks", name)
+			}
+			// Burn three instances so the counter is mid-sequence.
+			for i := 0; i < 3; i++ {
+				stA.Init(nil)
+			}
+			e := checkpoint.NewEncoder()
+			stA.EncodeShared(e)
+
+			regB := Default(42)
+			stB, _ := regB.State(name)
+			if err := stB.DecodeShared(checkpoint.NewDecoder(e.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+
+			// The next instance on each registry must sample identically.
+			sa, sb := stA.Init(nil), stB.Init(nil)
+			var fn *sfun.Func
+			var args func(i int) []value.Value
+			if name == ReservoirStateName {
+				fn, _ = regA.Func("rsample")
+				args = func(i int) []value.Value { return []value.Value{vu(uint64(i)), vi(10), vi(5)} }
+			} else {
+				fn, _ = regA.Func("psample")
+				args = func(i int) []value.Value { return []value.Value{vu(uint64(i)), vi(int64(1 + i*7%100)), vi(8)} }
+			}
+			for i := 0; i < 200; i++ {
+				a, errA := fn.Call(sa, args(i))
+				b, errB := fn.Call(sb, args(i))
+				if errA != nil || errB != nil {
+					t.Fatalf("call %d: %v / %v", i, errA, errB)
+				}
+				if value.Compare(a, b) != 0 {
+					t.Fatalf("decision diverged at %d: %v vs %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestInitHandoffFromEmptyOldState is the ISSUE's first handoff edge case:
+// Init with an old state that never configured itself (its supergroup saw
+// no tuples) must behave exactly like a brand-new supergroup.
+func TestInitHandoffFromEmptyOldState(t *testing.T) {
+	reg := Default(5)
+	for _, name := range []string{SubsetSumStateName, ReservoirStateName, DistinctStateName, PriorityStateName} {
+		st, _ := reg.State(name)
+		empty := st.Init(nil) // never configured by a sample call
+		fresh := st.Init(empty)
+		blobFresh := encodeState(t, st, fresh)
+		d := checkpoint.NewDecoder(blobFresh)
+		if _, err := st.Decode(d); err != nil {
+			t.Fatalf("%s: handoff from empty old state not decodable: %v", name, err)
+		}
+		// An unconfigured handoff must not claim configuration.
+		nilBlob := encodeState(t, st, st.Init(nil))
+		if name == SubsetSumStateName || name == DistinctStateName {
+			if !bytes.Equal(blobFresh, nilBlob) {
+				t.Errorf("%s: handoff from empty state differs from nil handoff", name)
+			}
+		}
+	}
+}
+
+// TestHandoffCarriesConfiguration checks the configured path: a subset-sum
+// state that has sampled carries its threshold (relaxed) into the next
+// window's Init, and the carried state round-trips through the codec.
+func TestHandoffCarriesConfiguration(t *testing.T) {
+	reg := Default(5)
+	st, _ := reg.State(SubsetSumStateName)
+	fn, _ := reg.Func("ssample")
+	old := st.Init(nil)
+	for i := 0; i < 100; i++ {
+		if _, err := fn.Call(old, []value.Value{vi(int64(10 + i)), vi(100), vi(2), vi(10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := st.Init(old)
+	blob := encodeState(t, st, next)
+	restored, err := st.Decode(checkpoint.NewDecoder(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, encodeState(t, st, restored)) {
+		t.Fatal("carried-over state re-encodes differently")
+	}
+	// The carried threshold must influence the next window identically.
+	a, _ := fn.Call(next, []value.Value{vi(500), vi(100), vi(2), vi(10)})
+	b, _ := fn.Call(restored, []value.Value{vi(500), vi(100), vi(2), vi(10)})
+	if value.Compare(a, b) != 0 {
+		t.Fatal("carried-over state decided differently after restore")
+	}
+}

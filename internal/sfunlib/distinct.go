@@ -61,6 +61,8 @@ func registerDistinct(reg *sfun.Registry) error {
 			}
 			return s
 		},
+		Encode: encodeDS,
+		Decode: decodeDS,
 	}); err != nil {
 		return err
 	}

@@ -52,6 +52,8 @@ func registerHeavyHitter(reg *sfun.Registry) error {
 			}
 			return s
 		},
+		Encode: encodeHH,
+		Decode: decodeHH,
 	}); err != nil {
 		return err
 	}

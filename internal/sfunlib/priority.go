@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"streamop/internal/checkpoint"
 	"streamop/internal/sfun"
 	"streamop/internal/value"
 	"streamop/internal/xrand"
@@ -89,6 +90,13 @@ func registerPriority(reg *sfun.Registry, seed uint64) error {
 				s.k = o.k
 			}
 			return s
+		},
+		Encode: encodePS,
+		Decode: decodePS,
+		EncodeShared: func(e *checkpoint.Encoder) { e.U64(instance.Load()) },
+		DecodeShared: func(d *checkpoint.Decoder) error {
+			instance.Store(d.U64())
+			return d.Err()
 		},
 	}); err != nil {
 		return err

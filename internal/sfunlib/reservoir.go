@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"streamop/internal/checkpoint"
 	"streamop/internal/sfun"
 	"streamop/internal/value"
 	"streamop/internal/xrand"
@@ -112,6 +113,16 @@ func registerReservoir(reg *sfun.Registry, seed uint64) error {
 				s.tags = make(map[uint64]bool, s.n)
 			}
 			return s
+		},
+		Encode: encodeRS,
+		Decode: decodeRS,
+		// The instance counter seeds each new supergroup's generator;
+		// restoring it keeps post-resume supergroups on the seeds an
+		// uninterrupted run would have drawn.
+		EncodeShared: func(e *checkpoint.Encoder) { e.U64(instance.Load()) },
+		DecodeShared: func(d *checkpoint.Decoder) error {
+			instance.Store(d.U64())
+			return d.Err()
 		},
 	}); err != nil {
 		return err

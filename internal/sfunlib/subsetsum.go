@@ -126,6 +126,8 @@ func registerSubsetSum(reg *sfun.Registry) error {
 				s.finalPrepared = false
 			}
 		},
+		Encode: encodeSS,
+		Decode: decodeSS,
 	}); err != nil {
 		return err
 	}
@@ -263,8 +265,10 @@ type bssState struct {
 
 func registerBasicSubsetSum(reg *sfun.Registry) error {
 	if err := reg.RegisterState(&sfun.StateType{
-		Name: BasicSubsetSumStateName,
-		Init: func(old any) any { return &bssState{} },
+		Name:   BasicSubsetSumStateName,
+		Init:   func(old any) any { return &bssState{} },
+		Encode: encodeBSS,
+		Decode: decodeBSS,
 	}); err != nil {
 		return err
 	}

@@ -31,6 +31,14 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// State returns the generator's full internal state, for checkpointing.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously obtained from State. A generator
+// restored this way produces exactly the stream the original would have
+// produced from that point on.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s
