@@ -13,6 +13,7 @@ import (
 	"streamop/internal/engine"
 	"streamop/internal/experiments"
 	"streamop/internal/gsql"
+	"streamop/internal/profile"
 	"streamop/internal/sfunlib"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
@@ -297,6 +298,57 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`
 	b.ReportMetric(100*overhead, "overhead-%")
 	if overhead > 0.05 {
 		b.Errorf("telemetry overhead %.1f%% exceeds the 5%% budget", 100*overhead)
+	}
+}
+
+// BenchmarkProfilingOverheadGuard enforces the profiler budget: the
+// dynamic subset-sum query with a 1-in-DefEvery sampling profiler attached
+// must stay within 5% of the profiler-free run. Profiling off costs one
+// nil check per tuple stage (the base side of this pair has that code
+// compiled in, so its cost is bounded by the telemetry guard staying
+// green). Same min-vs-min damping as the other guards. Metric: min-vs-min
+// overhead in percent.
+func BenchmarkProfilingOverheadGuard(b *testing.B) {
+	const query = `
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/1 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+	feed, err := trace.NewSteady(trace.SteadyConfig{Seed: 1, Duration: 1e9, Rate: 20000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]trace.Packet, 1<<18)
+	for i := range pkts {
+		pkts[i], _ = feed.Next()
+	}
+	pass := func(cfg *profile.Config) time.Duration {
+		q, err := streamop.Compile(query, streamop.Options{Seed: 1, Profile: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for _, p := range pkts {
+			if err := q.ProcessPacket(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := q.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	pass(nil) // warm up caches before the first measured pair
+	overhead := guardOverhead(b.N,
+		func() time.Duration { return pass(nil) },
+		func() time.Duration { return pass(&profile.Config{Every: profile.DefEvery, Seed: 1}) })
+	b.ReportMetric(100*overhead, "overhead-%")
+	if overhead > 0.05 {
+		b.Errorf("profiling overhead %.1f%% exceeds the 5%% budget", 100*overhead)
 	}
 }
 

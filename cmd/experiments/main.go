@@ -29,19 +29,22 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"streamop/internal/experiments"
+	"streamop/internal/profile"
 	"streamop/internal/telemetry"
 	"streamop/internal/tracing"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,relax,hhpush,cascade,shard,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,profile,relax,hhpush,cascade,shard,all")
 	seed := flag.Uint64("seed", 42, "random seed for feeds and algorithms")
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke test")
+	profileOut := flag.String("profile", "", "with -fig profile: also write the cost-attribution JSON (the BENCH_profile.json shape) to this file")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry and /debug introspection on this address while figures run")
 	eventsFile := flag.String("events", "", "stream JSONL telemetry events to this file")
 	traceOut := flag.String("trace", "", "write provenance traces from every engine as Chrome trace-event JSON to this file")
@@ -53,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	runErr := run(*fig, *seed, *quick)
+	runErr := run(*fig, *seed, *quick, *profileOut)
 	if err := cleanup(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -136,7 +139,7 @@ func setupTelemetry(metricsAddr, eventsFile, traceOut string, traceEvery int, se
 	return cleanup, nil
 }
 
-func run(fig string, seed uint64, quick bool) error {
+func run(fig string, seed uint64, quick bool, profileOut string) error {
 	switch fig {
 	case "2", "3", "4":
 		return accuracyFigs(fig, seed, quick, 0)
@@ -157,6 +160,8 @@ func run(fig string, seed uint64, quick bool) error {
 		return ddosFig(seed, quick)
 	case "overhead":
 		return overheadFig(seed, quick)
+	case "profile":
+		return profileFig(seed, quick, profileOut)
 	case "hhpush":
 		return hhpushFig(seed, quick)
 	case "cascade":
@@ -166,9 +171,9 @@ func run(fig string, seed uint64, quick bool) error {
 	case "shard":
 		return shardFig(seed, quick)
 	case "all":
-		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "relax", "hhpush", "cascade", "shard"} {
+		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "profile", "relax", "hhpush", "cascade", "shard"} {
 			fmt.Printf("\n================ -fig %s ================\n", f)
-			if err := run(f, seed, quick); err != nil {
+			if err := run(f, seed, quick, profileOut); err != nil {
 				return err
 			}
 		}
@@ -310,6 +315,49 @@ func overheadFig(seed uint64, quick bool) error {
 	fmt.Printf("hand-coded ns/packet:  %.0f\n", res.DirectNSPerPacket)
 	fmt.Printf("overhead factor:       %.1fx\n", res.Factor)
 	fmt.Printf("estimate agreement:    %.3f rel. difference\n", res.EstimateDelta)
+	return nil
+}
+
+// profileFig reruns the overhead ablation with the per-node profiler
+// attached and prints the cost-attribution table in markdown (the
+// scripts/profile.sh output); with -profile FILE it also writes the
+// machine-readable JSON that becomes BENCH_profile.json.
+func profileFig(seed uint64, quick bool, out string) error {
+	dur := 3.0
+	if quick {
+		dur = 1
+	}
+	res, err := experiments.ProfileAblation(seed, dur, 1000, profile.DefEvery)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — cost attribution of the operator's genericity overhead (dynamic subset-sum, N=1000)")
+	fmt.Println()
+	fmt.Printf("| metric | value |\n|---|---|\n")
+	fmt.Printf("| packets | %d |\n", res.Packets)
+	fmt.Printf("| operator ns/packet (profiled) | %.0f |\n", res.OperatorNSPerPacket)
+	fmt.Printf("| hand-coded ns/packet | %.0f |\n", res.DirectNSPerPacket)
+	fmt.Printf("| overhead factor | %.1fx |\n", res.Factor)
+	fmt.Printf("| wall time | %.1f ms |\n", float64(res.WallNS)/1e6)
+	fmt.Printf("| attributed by profiler | %.1f ms (%.0f%% of wall) |\n",
+		res.AttributedNS/1e6, 100*res.Coverage)
+	fmt.Println()
+	fmt.Printf("| stage | time %% | ns/packet | self time | rows in → out |\n|---|---|---|---|---|\n")
+	for _, s := range res.Stages {
+		fmt.Printf("| %s | %.1f%% | %.0f | %.2f ms | %d → %d |\n",
+			s.Stage, s.TimePct, s.NSPerPkt, s.SelfNS/1e6, s.RowsIn, s.RowsOut)
+	}
+	if out == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: cost attribution written to %s\n", out)
 	return nil
 }
 

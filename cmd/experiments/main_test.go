@@ -1,20 +1,52 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunQuickFigures(t *testing.T) {
 	// Exercise the formatting paths on small runs; figure 5/6-style runs
 	// are covered by internal/experiments tests and take seconds, so the
 	// CLI test sticks to the cheap ones.
 	for _, fig := range []string{"ddos", "overhead"} {
-		if err := run(fig, 3, true); err != nil {
+		if err := run(fig, 3, true, ""); err != nil {
 			t.Errorf("run(%s): %v", fig, err)
 		}
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("notafig", 1, true); err == nil {
+	if err := run("notafig", 1, true, ""); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunProfileFig(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_profile.json")
+	if err := run("profile", 3, true, out); err != nil {
+		t.Fatalf("run(profile): %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading attribution JSON: %v", err)
+	}
+	var res struct {
+		Packets int64 `json:"packets"`
+		Stages  []struct {
+			Stage  string  `json:"stage"`
+			SelfNS float64 `json:"self_ns"`
+		} `json:"stages"`
+		Report struct {
+			SampledEvery int `json:"sampled_every"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(buf, &res); err != nil {
+		t.Fatalf("attribution JSON: %v", err)
+	}
+	if res.Packets == 0 || len(res.Stages) == 0 || res.Report.SampledEvery == 0 {
+		t.Errorf("attribution JSON missing fields: %+v", res)
 	}
 }

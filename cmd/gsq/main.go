@@ -42,13 +42,23 @@
 //
 // Run artifacts are unified under -o DIR: -artifacts selects which files
 // to write (default "events,metrics,state"; add "trace" for provenance
-// traces and "replay" to record the consumed feed as a replayable
-// capture). The directory gets events.jsonl, metrics.prom, state.json,
-// trace.json and replay.sopt as selected. The old per-artifact flags
-// -events FILE and -trace FILE still work but are deprecated aliases.
+// traces, "replay" to record the consumed feed as a replayable capture,
+// and "profile" for the per-stage cost attribution). The directory gets
+// events.jsonl, metrics.prom, state.json, trace.json, replay.sopt and
+// PROFILE.json as selected. The old per-artifact flags -events FILE and
+// -trace FILE still work but are deprecated aliases.
+//
+// -profile runs the query with sampled per-stage cost profiling — the
+// EXPLAIN ANALYZE of this engine — and prints the attribution tree
+// (per-node stage self-times, row flow, selectivity, group-table
+// occupancy and window-latency quantiles) to stderr at exit;
+// -profile-every sets the 1-in-N tuple sampling rate. Prefixing the query
+// text itself with EXPLAIN renders the compiled plan (like -explain), and
+// EXPLAIN ANALYZE turns profiling on. The live attribution is also served
+// at /debug/profile while -metrics is up.
 //
 // -metrics serves live Prometheus telemetry and the /debug introspection
-// surface (/debug/plan, /debug/state, /debug/pprof) and keeps serving
+// surface (/debug/plan, /debug/state, /debug/profile, /debug/pprof) and keeps serving
 // after the feed drains until interrupted (SIGINT or SIGTERM, shut down
 // gracefully); -pprof serves the same surface on an ephemeral port when
 // -metrics is unset. A SIGINT mid-run cancels the engine's context: open
@@ -77,6 +87,7 @@ import (
 	"streamop/internal/core"
 	"streamop/internal/engine"
 	"streamop/internal/overload"
+	"streamop/internal/profile"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
 	"streamop/internal/tracing"
@@ -112,6 +123,8 @@ type config struct {
 	Checkpoint string  // -checkpoint: snapshot directory (enables checkpointing)
 	CkptEvery  int64   // -checkpoint-every: snapshot every N closed windows
 	Restore    bool    // -restore: resume from the newest valid snapshot
+	Profile    bool    // -profile: sampled per-stage cost profiling (EXPLAIN ANALYZE)
+	ProfEvery  int     // -profile-every: 1-in-N tuple sampling rate
 }
 
 func main() {
@@ -138,10 +151,12 @@ func main() {
 	flag.StringVar(&cfg.Overload, "overload", "", "ring admission policy for every ring: drop-tail|shed-sample|block (overrides the query's OVERLOAD clause)")
 	flag.StringVar(&cfg.Inject, "inject", "", `deterministic fault injectors wrapping the feed, e.g. "drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us" (seeded by -seed)`)
 	flag.StringVar(&cfg.OutDir, "o", "", "write run artifacts into this directory (created if absent); see -artifacts")
-	flag.StringVar(&cfg.Artifacts, "artifacts", defaultArtifacts, "with -o: comma list of artifacts to write: events,metrics,state,trace,replay")
+	flag.StringVar(&cfg.Artifacts, "artifacts", defaultArtifacts, "with -o: comma list of artifacts to write: events,metrics,state,trace,replay,profile")
 	flag.StringVar(&cfg.Checkpoint, "checkpoint", "", "write crash-safe state snapshots into this directory (see docs/ROBUSTNESS.md)")
 	flag.Int64Var(&cfg.CkptEvery, "checkpoint-every", 1, "with -checkpoint: snapshot every N closed windows (0 = only on SIGINT/SIGTERM)")
 	flag.BoolVar(&cfg.Restore, "restore", false, "with -checkpoint: resume from the newest valid snapshot in the directory")
+	flag.BoolVar(&cfg.Profile, "profile", false, "sampled per-stage cost profiling (EXPLAIN ANALYZE): print the attribution tree to stderr at exit; with -o, add 'profile' to -artifacts for PROFILE.json")
+	flag.IntVar(&cfg.ProfEvery, "profile-every", profile.DefEvery, "with -profile: time one in this many tuples per node (deterministic per -seed)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -167,6 +182,15 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// The query text's EXPLAIN prefix maps onto the corresponding flags:
+	// bare EXPLAIN renders the plan (-explain), EXPLAIN ANALYZE runs with
+	// cost profiling (-profile).
+	switch q.Explain() {
+	case "plan":
+		cfg.Explain = true
+	case "analyze":
+		cfg.Profile = true
+	}
 	if cfg.Explain {
 		fmt.Print(q.Plan().Describe())
 		return nil
@@ -182,6 +206,10 @@ func run(cfg config) error {
 	art, err := resolveArtifacts(cfg)
 	if err != nil {
 		return err
+	}
+	if art.Profile != "" {
+		// Selecting the profile artifact implies profiling.
+		cfg.Profile = true
 	}
 
 	feed, err := openFeed(cfg.Feed, cfg.Replay, cfg.Duration, cfg.Seed)
@@ -221,7 +249,7 @@ func run(cfg config) error {
 			return err
 		}
 		srv = s
-		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics, introspection at /debug/{plan,state,pprof}\n", addr)
+		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics, introspection at /debug/{plan,state,profile,pprof}\n", addr)
 	} else if art.State != "" {
 		// The state artifact snapshots /debug/state at exit; building the
 		// handler flips DebugActive so operators publish their boundary
@@ -271,6 +299,15 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
+	}
+	var prof *profile.Profiler
+	if cfg.Profile {
+		every := cfg.ProfEvery
+		if every < 1 {
+			every = profile.DefEvery
+		}
+		prof = profile.New(profile.Config{Every: every, Seed: cfg.Seed})
+		e.SetProfiler(prof)
 	}
 	if cfg.Checkpoint != "" {
 		if err := e.SetCheckpoint(engine.CheckpointConfig{
@@ -348,8 +385,11 @@ func run(cfg config) error {
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "gsq: interrupted; open windows flushed, writing artifacts")
 	}
-	if err := writeRunArtifacts(art, rec, recFile, col, tr); err != nil {
+	if err := writeRunArtifacts(art, rec, recFile, col, tr, prof); err != nil {
 		return err
+	}
+	if prof != nil {
+		fmt.Fprint(os.Stderr, prof.Report().Render())
 	}
 
 	if cfg.Stats {
@@ -415,6 +455,7 @@ type artifactPaths struct {
 	State   string // final /debug/state snapshot
 	Trace   string // Chrome trace-event provenance JSON
 	Replay  string // binary capture of the input feed
+	Profile string // final per-stage cost attribution (PROFILE.json)
 }
 
 func resolveArtifacts(cfg config) (artifactPaths, error) {
@@ -452,9 +493,11 @@ func resolveArtifacts(cfg config) (artifactPaths, error) {
 			a.Trace = filepath.Join(cfg.OutDir, "trace.json")
 		case "replay":
 			a.Replay = filepath.Join(cfg.OutDir, "replay.sopt")
+		case "profile":
+			a.Profile = filepath.Join(cfg.OutDir, "PROFILE.json")
 		case "":
 		default:
-			return a, fmt.Errorf("unknown artifact %q (valid: events,metrics,state,trace,replay)", strings.TrimSpace(name))
+			return a, fmt.Errorf("unknown artifact %q (valid: events,metrics,state,trace,replay,profile)", strings.TrimSpace(name))
 		}
 	}
 	return a, nil
@@ -465,7 +508,7 @@ func resolveArtifacts(cfg config) (artifactPaths, error) {
 // SIGINT/SIGTERM cancellation share, so an interrupted run always leaves
 // the same files behind as a drained one (main_test.go's SIGTERM test
 // holds this).
-func writeRunArtifacts(art artifactPaths, rec *trace.Writer, recFile *os.File, col *telemetry.Collector, tr *tracing.Tracer) error {
+func writeRunArtifacts(art artifactPaths, rec *trace.Writer, recFile *os.File, col *telemetry.Collector, tr *tracing.Tracer, prof *profile.Profiler) error {
 	if rec != nil {
 		if err := rec.Flush(); err != nil {
 			recFile.Close()
@@ -496,6 +539,16 @@ func writeRunArtifacts(art artifactPaths, rec *trace.Writer, recFile *os.File, c
 			return enc.Encode(state)
 		}); err != nil {
 			return fmt.Errorf("writing state: %w", err)
+		}
+	}
+	if art.Profile != "" {
+		rep := prof.Report()
+		if err := writeFileWith(art.Profile, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}); err != nil {
+			return fmt.Errorf("writing profile: %w", err)
 		}
 	}
 	return nil

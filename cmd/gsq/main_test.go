@@ -232,6 +232,72 @@ func TestRunOutDirArtifacts(t *testing.T) {
 	}
 }
 
+// TestRunProfileArtifact runs with -profile and the profile artifact and
+// checks the PROFILE.json schema CI's jq validation keys on: top-level
+// sampled_every/nodes, 8 stages per node in canonical order.
+func TestRunProfileArtifact(t *testing.T) {
+	dir := t.TempDir()
+	err := run(config{
+		Query: "SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/1 as tb, srcIP",
+		Feed:  "steady", Duration: 1, Seed: 1, Ring: 4096,
+		OutDir: dir, Artifacts: "profile", Profile: true, ProfEvery: 16,
+	})
+	if err != nil {
+		t.Fatalf("run -profile: %v", err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "PROFILE.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		SampledEvery int `json:"sampled_every"`
+		Nodes        []struct {
+			Node   string `json:"node"`
+			Stages []struct {
+				Stage string `json:"stage"`
+			} `json:"stages"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("PROFILE.json is not JSON: %v", err)
+	}
+	if rep.SampledEvery != 16 {
+		t.Errorf("sampled_every = %d, want 16", rep.SampledEvery)
+	}
+	names := map[string]bool{}
+	for _, n := range rep.Nodes {
+		names[n.Node] = true
+		if len(n.Stages) != 8 {
+			t.Errorf("node %s has %d stages, want 8", n.Node, len(n.Stages))
+		}
+	}
+	if !names["query"] || !names["source"] {
+		t.Errorf("PROFILE.json nodes = %v, want query and source", names)
+	}
+}
+
+// TestRunExplainAnalyzePrefix checks the query-text spellings: EXPLAIN
+// renders the plan without running, EXPLAIN ANALYZE runs with profiling.
+func TestRunExplainAnalyzePrefix(t *testing.T) {
+	if err := run(config{
+		Query: "EXPLAIN SELECT uts FROM PKT WHERE len > 0",
+		Feed:  "steady", Duration: 0.1, Seed: 1, Ring: 4096,
+	}); err != nil {
+		t.Fatalf("EXPLAIN prefix: %v", err)
+	}
+	dir := t.TempDir()
+	if err := run(config{
+		Query: "EXPLAIN ANALYZE SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
+		Feed:  "steady", Duration: 0.5, Seed: 1, Ring: 4096,
+		OutDir: dir, Artifacts: "profile",
+	}); err != nil {
+		t.Fatalf("EXPLAIN ANALYZE prefix: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "PROFILE.json")); err != nil {
+		t.Errorf("EXPLAIN ANALYZE wrote no PROFILE.json: %v", err)
+	}
+}
+
 // TestRunOutDirDefaults checks the default artifact selection (events,
 // metrics, state — no trace, no replay) when -artifacts is unset.
 func TestRunOutDirDefaults(t *testing.T) {
@@ -248,7 +314,7 @@ func TestRunOutDirDefaults(t *testing.T) {
 			t.Errorf("default artifact %s missing: %v", want, err)
 		}
 	}
-	for _, skip := range []string{"trace.json", "replay.sopt"} {
+	for _, skip := range []string{"trace.json", "replay.sopt", "PROFILE.json"} {
 		if _, err := os.Stat(filepath.Join(dir, skip)); err == nil {
 			t.Errorf("opt-in artifact %s written by default", skip)
 		}

@@ -19,6 +19,7 @@ import (
 	"streamop/internal/gsql"
 	"streamop/internal/operator"
 	"streamop/internal/overload"
+	"streamop/internal/profile"
 	"streamop/internal/sfun"
 	"streamop/internal/sfunlib"
 	"streamop/internal/trace"
@@ -62,6 +63,12 @@ type Options struct {
 	// requests when wired into an Engine. Empty leaves the clause (or the
 	// runtime default) in force.
 	Overload string
+	// Profile enables per-stage cost profiling (EXPLAIN ANALYZE): when
+	// non-nil, Compile attaches a profiler sampling 1-in-Profile.Every
+	// tuples and Query.Profiler().Report() yields the attribution after
+	// (or during) a run. A query text carrying an EXPLAIN ANALYZE prefix
+	// gets a default-rate profiler even when this is nil.
+	Profile *profile.Config
 }
 
 // Query is a compiled, running sampling query.
@@ -79,6 +86,12 @@ type Query struct {
 	feed    trace.Feed
 	err     error
 	scratch tuple.Tuple
+
+	// Profiling (nil when off): the profiler, this query's node profile,
+	// and the exact packet-conversion count backing StageDequeue's rows.
+	prof    *profile.Profiler
+	np      *profile.NodeProfile
+	packets int64
 }
 
 // Compile parses, analyzes and instantiates a sampling query.
@@ -125,6 +138,15 @@ func Compile(src string, opts Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	pcfg := opts.Profile
+	if pcfg == nil && parsed.Explain == "analyze" {
+		pcfg = &profile.Config{Every: profile.DefEvery, Seed: opts.Seed}
+	}
+	if pcfg != nil {
+		q.prof = profile.New(*pcfg)
+		q.np = q.prof.Node("query")
+		q.op.SetProfile(q.np)
+	}
 	return q, nil
 }
 
@@ -142,7 +164,13 @@ func (q *Query) ProcessPacket(p trace.Packet) error {
 	if q.scratch == nil {
 		return fmt.Errorf("core: query does not read the PKT schema")
 	}
-	p.AppendTuple(q.scratch)
+	q.packets++
+	if st := q.np.BeginSrc(); st != 0 {
+		p.AppendTuple(q.scratch)
+		q.np.LapMark(profile.StageDequeue, st)
+	} else {
+		p.AppendTuple(q.scratch)
+	}
 	return q.op.Process(q.scratch)
 }
 
@@ -273,7 +301,22 @@ func (q *Query) RowsContext(ctx context.Context) iter.Seq[Row] {
 func (q *Query) Err() error { return q.err }
 
 // Flush closes the current window, emitting its sample.
-func (q *Query) Flush() error { return q.op.Flush() }
+func (q *Query) Flush() error {
+	err := q.op.Flush()
+	if q.np != nil {
+		q.np.SyncRows(profile.StageDequeue, q.packets, q.packets, q.packets)
+	}
+	return err
+}
+
+// Profiler returns the query's cost profiler, nil when profiling is off
+// (no Options.Profile and no EXPLAIN ANALYZE prefix).
+func (q *Query) Profiler() *profile.Profiler { return q.prof }
+
+// Explain returns the query's EXPLAIN prefix mode: "" (none), "plan"
+// (render the compiled plan instead of running) or "analyze" (run with
+// cost profiling).
+func (q *Query) Explain() string { return q.plan.Query.Explain }
 
 // Stats returns the operator's activity counters.
 func (q *Query) Stats() operator.Stats { return q.op.Stats() }

@@ -66,6 +66,9 @@ type ShardDebug struct {
 func (e *Engine) registerDebug(c *telemetry.Collector) {
 	c.SetDebugSource("plan", "engine", func() any { return e.debugPlan() })
 	c.SetDebugSource("state", "engine", func() any { return e.debugState() })
+	// Report() is built entirely from atomics, so a mid-run scrape is safe;
+	// a nil profiler renders as an empty report.
+	c.SetDebugSource("profile", "engine", func() any { return e.Profiler().Report() })
 }
 
 func (e *Engine) debugPlan() []NodePlan {

@@ -22,6 +22,7 @@ import (
 	"streamop/internal/gsql"
 	"streamop/internal/operator"
 	"streamop/internal/overload"
+	"streamop/internal/profile"
 	"streamop/internal/ringbuf"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
@@ -71,6 +72,9 @@ type Node struct {
 	consumed atomic.Uint64
 	// nm holds this node's telemetry gauges; nil when uninstrumented.
 	nm *nodeMetrics
+	// prof is this node's cost profile; nil when profiling is off (see
+	// profile.go).
+	prof *profile.NodeProfile
 	// Provenance tracing (see tracing.go). tr is nil when tracing is off;
 	// trEnq/trDeq count this node's queued input rows so traces can ride on
 	// FIFO position instead of tuple metadata.
@@ -165,6 +169,10 @@ type Engine struct {
 
 	// Provenance tracer (see tracing.go); nil when tracing is off.
 	tr *tracing.Tracer
+
+	// Cost profiling (see profile.go); the pointer is atomic so the
+	// /debug/profile HTTP source can read it mid-run.
+	profFields
 
 	// Checkpoint schedule and restore state (see checkpoint.go); nil when
 	// checkpointing is off.
@@ -333,7 +341,14 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 		// Low-level consumers drain the ring in batches.
 		for {
 			base := e.ring.Popped()
+			var dt int64
+			if e.srcProf != nil {
+				dt = profile.Now()
+			}
 			n := e.ring.PopBatch(pkts)
+			if e.srcProf != nil {
+				e.srcProf.AddExact(profile.StageDequeue, profile.Now()-dt)
+			}
 			if n == 0 {
 				break
 			}
@@ -366,6 +381,7 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 			}
 		}
 		e.srcGate.sync()
+		e.syncProfiles()
 		// The ring is drained and every node sits at a tuple boundary: the
 		// one place the serial loop can snapshot a resumable state.
 		if err := e.maybeCheckpoint(); err != nil {
@@ -425,6 +441,7 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 		n.syncTelemetry(0)
 	}
 	e.syncSourceRing()
+	e.syncProfiles()
 	e.srcGate.sync()
 	// Safety net: any trace still in flight (e.g. queued behind a node with
 	// no low-level consumer) terminates rather than leaking open.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"streamop/internal/profile"
 	"streamop/internal/ringbuf"
 	"streamop/internal/trace"
 	"streamop/internal/tuple"
@@ -267,7 +268,12 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 				err := e.guardNode(low, func() error {
 					start := time.Now()
 					for j := 0; j < n; j++ {
-						batch[j].AppendTuple(scratch)
+						if st := low.prof.BeginSrc(); st != 0 {
+							batch[j].AppendTuple(scratch)
+							low.prof.LapMark(profile.StageDequeue, st)
+						} else {
+							batch[j].AppendTuple(scratch)
+						}
 						low.tuplesIn++
 						if err := low.processParallel(scratch, chans); err != nil {
 							low.busy += time.Since(start)
@@ -356,6 +362,9 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 	for _, h := range e.high {
 		h.syncTelemetry(0)
 	}
+	// Workers are done; their counters are safe to mirror from this
+	// goroutine. (Shard replicas already synced their own profiles.)
+	e.syncProfiles()
 	select {
 	case err := <-errs:
 		return err

@@ -7,6 +7,7 @@ import (
 
 	"streamop/internal/agg"
 	"streamop/internal/gsql"
+	"streamop/internal/profile"
 	"streamop/internal/trace"
 	"streamop/internal/tuple"
 	"streamop/internal/value"
@@ -52,6 +53,12 @@ type ptable struct {
 	evictions int64
 	residents int64
 	emit      func(tuple.Tuple) error
+
+	// Profiling (nil when off). tuples is the exact fold count, the basis
+	// for scaling the sampled group-lookup/fold laps at report time.
+	prof       *profile.NodeProfile
+	winStartNS int64
+	tuples     int64
 }
 
 func newPtable(name string, plan *gsql.Plan, slots int, mask uint64, div uint64, emit func(tuple.Tuple) error) ptable {
@@ -68,6 +75,8 @@ func newPtable(name string, plan *gsql.Plan, slots int, mask uint64, div uint64,
 
 // process folds one packet tuple into the table.
 func (t *ptable) process(tp tuple.Tuple) error {
+	t.tuples++
+	pt := t.prof.Begin()
 	t.ctx = gsql.Ctx{Tuple: tp}
 	for i, gb := range t.plan.GroupBy {
 		v, err := gb(&t.ctx)
@@ -78,14 +87,24 @@ func (t *ptable) process(tp tuple.Tuple) error {
 	}
 	t.ctx.GroupVals = t.gbVals
 
-	// Window boundary: flush every resident group.
+	// Window boundary: flush every resident group. The flush is exactly
+	// timed inside emitSlot, so a sampled tuple's lap pauses around it.
 	if t.winOpen && t.orderedChanged() {
+		if pt != 0 {
+			pt = t.prof.Lap(profile.StageGroupLookup, pt)
+		}
 		if err := t.flush(); err != nil {
 			return err
+		}
+		if pt != 0 {
+			pt = profile.Now()
 		}
 	}
 	if !t.winOpen {
 		t.winOpen = true
+		if t.prof != nil {
+			t.winStartNS = profile.Now()
+		}
 		t.window = t.window[:0]
 		for _, idx := range t.plan.OrderedIdx {
 			t.window = append(t.window, t.gbVals[idx])
@@ -99,9 +118,16 @@ func (t *ptable) process(tp tuple.Tuple) error {
 	}
 	slot := &t.slots[idx]
 	if slot.used && !slot.key.Equal(key) {
-		// Collision: emit the resident partial row and take the slot.
+		// Collision: emit the resident partial row and take the slot. The
+		// eviction is exactly timed in emitSlot; pause the lap around it.
+		if pt != 0 {
+			pt = t.prof.Lap(profile.StageGroupLookup, pt)
+		}
 		if err := t.emitSlot(slot); err != nil {
 			return err
+		}
+		if pt != 0 {
+			pt = profile.Now()
 		}
 		slot.used = false
 		t.residents--
@@ -118,6 +144,10 @@ func (t *ptable) process(tp tuple.Tuple) error {
 			slot.aggs[i] = def.New()
 		}
 	}
+	if pt != 0 {
+		// Group-by evaluation plus the slot probe/claim.
+		pt = t.prof.LapMark(profile.StageGroupLookup, pt)
+	}
 	for i := range t.plan.Aggs {
 		def := &t.plan.Aggs[i]
 		var v value.Value
@@ -128,6 +158,9 @@ func (t *ptable) process(tp tuple.Tuple) error {
 			}
 		}
 		slot.aggs[i].Update(v)
+	}
+	if pt != 0 {
+		t.prof.LapMark(profile.StageSfunUpdate, pt)
 	}
 	return nil
 }
@@ -142,7 +175,14 @@ func (t *ptable) orderedChanged() bool {
 }
 
 // emitSlot evaluates the SELECT list for one resident group and emits it.
+// Partial rows are rare relative to folds (one per eviction or window
+// close), so both halves are timed exactly rather than sampled.
 func (t *ptable) emitSlot(slot *partialGroup) error {
+	np := t.prof
+	var et int64
+	if np != nil {
+		et = profile.Now()
+	}
 	ctx := gsql.Ctx{GroupVals: slot.key.Values(), Aggs: slot.aggs}
 	row := make(tuple.Tuple, len(t.plan.SelectExprs))
 	for i, sel := range t.plan.SelectExprs {
@@ -152,7 +192,18 @@ func (t *ptable) emitSlot(slot *partialGroup) error {
 		}
 		row[i] = v
 	}
-	return t.emit(row)
+	if np != nil {
+		now := profile.Now()
+		np.AddExact(profile.StageEmit, now-et)
+		np.AddRows(profile.StageEmit, 1, 1)
+		et = now
+	}
+	err := t.emit(row)
+	if np != nil {
+		np.AddExact(profile.StageTransfer, profile.Now()-et)
+		np.AddRows(profile.StageTransfer, 1, 1)
+	}
+	return err
 }
 
 // flush emits every resident group and clears the table.
@@ -167,7 +218,28 @@ func (t *ptable) flush() error {
 		}
 	}
 	t.winOpen = false
+	if t.prof != nil {
+		if t.winStartNS != 0 {
+			t.prof.ObserveWindow(float64(profile.Now()-t.winStartNS) / 1e9)
+			t.winStartNS = 0
+		}
+		t.syncProfile()
+	}
 	return nil
+}
+
+// syncProfile mirrors the table's exact counters into its profile. The
+// fold count is the basis for all three sampled stages: every tuple is
+// converted (dequeue), probed (group lookup) and folded (sfun update).
+func (t *ptable) syncProfile() {
+	np := t.prof
+	if np == nil {
+		return
+	}
+	np.SyncRows(profile.StageDequeue, t.tuples, t.tuples, t.tuples)
+	np.SyncRows(profile.StageGroupLookup, t.tuples, t.tuples, t.tuples)
+	np.SyncRows(profile.StageSfunUpdate, t.tuples, t.tuples, t.tuples)
+	np.SetOccupancy(t.residents, 0, t.residents*(64+64*int64(len(t.plan.Aggs))))
 }
 
 // PartialNode is a low-level partial-aggregation query node.
@@ -289,8 +361,14 @@ func (e *Engine) runPartialBatch(pkts []trace.Packet, count int, scratch tuple.T
 		}
 		if err := e.guardNode(&n.Node, func() error {
 			start := time.Now()
+			np := n.table.prof
 			for i := 0; i < count; i++ {
-				pkts[i].AppendTuple(scratch)
+				if st := np.BeginSrc(); st != 0 {
+					pkts[i].AppendTuple(scratch)
+					np.LapMark(profile.StageDequeue, st)
+				} else {
+					pkts[i].AppendTuple(scratch)
+				}
 				if err := n.process(scratch); err != nil {
 					n.busy += time.Since(start)
 					return err

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"streamop/internal/gsql"
+	"streamop/internal/profile"
 	"streamop/internal/ringbuf"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
@@ -120,6 +121,7 @@ func (w *shardWorker) emit(row tuple.Tuple) error {
 
 // syncDebug mirrors the worker's counters into its atomics and gauges.
 func (w *shardWorker) syncDebug() {
+	w.table.syncProfile()
 	w.aTuplesIn.Store(w.tuplesIn)
 	w.aOut.Store(w.out)
 	w.aEvictions.Store(w.table.evictions)
@@ -180,7 +182,12 @@ func (w *shardWorker) run(producerDone <-chan struct{}, reportErr func(error)) {
 		}
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			batch[i].AppendTuple(scratch)
+			if st := w.table.prof.BeginSrc(); st != 0 {
+				batch[i].AppendTuple(scratch)
+				w.table.prof.LapMark(profile.StageDequeue, st)
+			} else {
+				batch[i].AppendTuple(scratch)
+			}
 			w.tuplesIn++
 			if err := safeCall(func() error { return w.table.process(scratch) }); err != nil {
 				w.busy += time.Since(start)
@@ -317,6 +324,11 @@ func (e *Engine) newShardSet(pn *PartialNode, chans map[*Node]chan tuple.Tuple, 
 			s.gates = append(s.gates, e.newGate(e.resolveOverload(pn.plan, pn.name, strconv.Itoa(i)), ring, pn.name, strconv.Itoa(i)))
 		}
 		w.table = newPtable(pn.name, wplan, stripe, s.mask, uint64(n), w.emit)
+		if p := e.Profiler(); p != nil {
+			// One profile per shard replica: workers must never share the
+			// sampling-schedule state.
+			w.table.prof = p.NodeShard(pn.name, i)
+		}
 		if e.tel != nil {
 			r := e.tel.Registry()
 			shard := strconv.Itoa(i)

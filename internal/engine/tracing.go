@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"streamop/internal/profile"
 	"streamop/internal/trace"
 	"streamop/internal/tracing"
 	"streamop/internal/tuple"
@@ -61,7 +62,12 @@ func (e *Engine) processLowBatch(low *Node, pkts []trace.Packet, n int, scratch 
 			end = matches[mi].Idx
 		}
 		for ; i < end; i++ {
-			pkts[i].AppendTuple(scratch)
+			if st := low.prof.BeginSrc(); st != 0 {
+				pkts[i].AppendTuple(scratch)
+				low.prof.LapMark(profile.StageDequeue, st)
+			} else {
+				pkts[i].AppendTuple(scratch)
+			}
 			low.tuplesIn++
 			if err := low.op.Process(scratch); err != nil {
 				low.busy += time.Since(start)

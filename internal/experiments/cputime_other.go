@@ -1,0 +1,6 @@
+//go:build !unix
+
+package experiments
+
+// cpuTimeNS is unavailable off unix; callers treat 0 as "no CPU clock".
+func cpuTimeNS() int64 { return 0 }

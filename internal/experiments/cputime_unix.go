@@ -1,0 +1,17 @@
+//go:build unix
+
+package experiments
+
+import "syscall"
+
+// cpuTimeNS returns the process's cumulative user+system CPU time.
+// Unlike wall time it is immune to CPU contention from other processes
+// (a parallel `go test ./...` run, a loaded CI host), so a pass's rusage
+// delta is the noise-robust denominator for attribution coverage.
+func cpuTimeNS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return (ru.Utime.Sec+ru.Stime.Sec)*1e9 + (ru.Utime.Usec+ru.Stime.Usec)*1e3
+}

@@ -139,11 +139,23 @@ type Query struct {
 	// form ("drop-tail", "shed-sample" or "block"); "" means unspecified
 	// (runtime default).
 	Overload string
+	// Explain is the EXPLAIN prefix mode: "" (none), "plan" for a bare
+	// EXPLAIN (render the compiled plan without running), or "analyze" for
+	// EXPLAIN ANALYZE (run with per-stage cost profiling and report the
+	// attribution). The prefix is a request to the runtime; the query
+	// itself compiles and executes identically.
+	Explain string
 }
 
 // String renders the query in re-parseable form.
 func (q *Query) String() string {
 	var b strings.Builder
+	switch q.Explain {
+	case "plan":
+		b.WriteString("EXPLAIN\n")
+	case "analyze":
+		b.WriteString("EXPLAIN ANALYZE\n")
+	}
 	b.WriteString("SELECT ")
 	for i, s := range q.Select {
 		if i > 0 {

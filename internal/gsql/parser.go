@@ -13,6 +13,7 @@ import (
 // Grammar (keywords case-insensitive; GROUP_BY and SUPERGROUP [BY] spellings
 // from the paper are accepted):
 //
+//	[EXPLAIN [ANALYZE]]
 //	SELECT item [, item]...
 //	FROM ident
 //	[WHERE expr]
@@ -111,6 +112,14 @@ func (p *parser) acceptOp(op string) bool {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
+	// Optional EXPLAIN [ANALYZE] prefix: a runtime request (render the
+	// plan, or run with cost profiling), not part of the query semantics.
+	if p.acceptKeyword("explain") {
+		q.Explain = "plan"
+		if p.acceptKeyword("analyze") {
+			q.Explain = "analyze"
+		}
+	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}

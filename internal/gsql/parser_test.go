@@ -115,6 +115,41 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseExplainPrefix(t *testing.T) {
+	base := "SELECT tb, count(*) FROM PKT GROUP BY time/60 as tb"
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{base, ""},
+		{"EXPLAIN " + base, "plan"},
+		{"explain analyze " + base, "analyze"},
+		{"EXPLAIN ANALYZE\n" + base, "analyze"},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		if q.Explain != tc.want {
+			t.Errorf("Parse(%q).Explain = %q, want %q", tc.src, q.Explain, tc.want)
+		}
+		// print -> reparse preserves the prefix.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", q.String(), err)
+		}
+		if q2.Explain != tc.want {
+			t.Errorf("reparse Explain = %q, want %q", q2.Explain, tc.want)
+		}
+	}
+	// ANALYZE without EXPLAIN is not a keyword: it must fail as a bad
+	// SELECT, not silently parse.
+	if _, err := Parse("ANALYZE " + base); err == nil {
+		t.Error("Parse accepted a bare ANALYZE prefix")
+	}
+}
+
 func TestParseExpressions(t *testing.T) {
 	cases := []struct {
 		src  string

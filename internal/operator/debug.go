@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"streamop/internal/sfun"
+	"streamop/internal/telemetry"
 )
 
 // Boundary-consistent /debug/state snapshots. The operator's tables are
@@ -28,6 +29,16 @@ type DebugGroup struct {
 	Aggs map[string]string `json:"aggs,omitempty"`
 }
 
+// DebugLatency carries interpolated window-latency quantiles (seconds),
+// present once at least one window has flushed on an instrumented
+// operator.
+type DebugLatency struct {
+	Windows int64   `json:"windows"`
+	P50     float64 `json:"p50_seconds"`
+	P95     float64 `json:"p95_seconds"`
+	P99     float64 `json:"p99_seconds"`
+}
+
 // DebugState is a boundary-consistent snapshot of the operator's tables.
 type DebugState struct {
 	At          string             `json:"at"` // boundary kind: attach, cleaning, window_flush
@@ -35,6 +46,7 @@ type DebugState struct {
 	Groups      int                `json:"groups"`
 	Supergroups int                `json:"supergroups"`
 	Stats       Stats              `json:"stats"`
+	Latency     *DebugLatency      `json:"window_latency,omitempty"`
 	SfunGauges  map[string]float64 `json:"sfun_gauges,omitempty"`
 	TopGroups   []DebugGroup       `json:"top_groups,omitempty"`
 }
@@ -59,6 +71,26 @@ func (o *Operator) publishDebug(at string) {
 		Window:      o.windowIdx,
 		Supergroups: len(o.sgList),
 		Stats:       o.stats,
+	}
+
+	// Window-latency quantiles from whichever histogram is live: the
+	// telemetry family when a collector is attached, the profiler's
+	// otherwise. Both use profile.LatencyBounds, so the estimates agree.
+	var lh *telemetry.Histogram
+	if o.om != nil {
+		lh = o.om.latency
+	} else if o.prof != nil {
+		lh = o.prof.Latency()
+	}
+	if lh != nil {
+		if n := lh.Count(); n > 0 {
+			st.Latency = &DebugLatency{
+				Windows: n,
+				P50:     lh.Quantile(0.50),
+				P95:     lh.Quantile(0.95),
+				P99:     lh.Quantile(0.99),
+			}
+		}
 	}
 
 	// SFUN gauges of every observable state on the first supergroup

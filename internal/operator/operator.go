@@ -24,6 +24,7 @@ import (
 
 	"streamop/internal/agg"
 	"streamop/internal/gsql"
+	"streamop/internal/profile"
 	"streamop/internal/telemetry"
 	"streamop/internal/tracing"
 	"streamop/internal/tuple"
@@ -103,6 +104,17 @@ type Operator struct {
 	tr     *tracing.Tracer
 	trName string
 
+	// Profiling (see profile.go). prof is nil unless a profiler is
+	// attached; lapClock threads a sampled row's lap clock into output so
+	// the SELECT-eval span ends inside it. winStartNS anchors window
+	// end-to-end latency; profHavingIn/Out count the HAVING pass exactly
+	// (flush-only, so they cost nothing per tuple).
+	prof          *profile.NodeProfile
+	lapClock      int64
+	winStartNS    int64
+	profHavingIn  int64
+	profHavingOut int64
+
 	// Boundary-consistent debug snapshot (see debug.go), published at
 	// window flushes and cleaning phases when /debug/state is being served.
 	debug debugPublisher
@@ -154,6 +166,7 @@ func (o *Operator) Process(t tuple.Tuple) error {
 }
 
 func (o *Operator) processSelection(t tuple.Tuple) error {
+	pt := o.prof.Begin()
 	o.ctx = gsql.Ctx{Tuple: t, States: o.selStates}
 	tts := o.curTraces()
 	if tts != nil {
@@ -165,6 +178,9 @@ func (o *Operator) processSelection(t tuple.Tuple) error {
 			return err
 		}
 		pass := v.Truth()
+		if pt != 0 {
+			pt = o.prof.LapMark(profile.StageWhere, pt)
+		}
 		for _, tt := range tts {
 			tt.Where(o.trName, pass)
 		}
@@ -179,10 +195,19 @@ func (o *Operator) processSelection(t tuple.Tuple) error {
 		}
 		o.tr.SetEmitting(tts)
 	}
+	if pt != 0 {
+		o.prof.Mark(profile.StageEmit)
+		o.lapClock = pt
+	}
 	return o.output(&o.ctx)
 }
 
 func (o *Operator) processSampling(t tuple.Tuple) error {
+	// Profiling: a sampled tuple threads a lap clock (pt) through the
+	// numbered steps below; consecutive laps share boundaries, so the
+	// per-stage self-times tile the tuple's total cost.
+	pt := o.prof.Begin()
+
 	// 1. Group-by values.
 	o.ctx = gsql.Ctx{Tuple: t}
 	for i, gb := range o.plan.GroupBy {
@@ -194,15 +219,26 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 	}
 	o.ctx.GroupVals = o.gbVals
 
-	// 2. Window boundary: any ordered group-by value changed.
+	// 2. Window boundary: any ordered group-by value changed. The flush
+	// times itself (exact), so a sampled tuple's lap clock stops before it
+	// and restarts after.
 	if o.windowOpen && o.orderedChanged() {
+		if pt != 0 {
+			pt = o.prof.Lap(profile.StageGroupLookup, pt)
+		}
 		if err := o.flushWindow(); err != nil {
 			return err
+		}
+		if pt != 0 {
+			pt = profile.Now()
 		}
 	}
 	if !o.windowOpen {
 		o.windowOpen = true
 		o.windowVals = o.orderedValues(o.windowVals[:0])
+		if o.prof != nil || o.om != nil {
+			o.winStartNS = profile.Now()
+		}
 	}
 
 	// 3. Supergroup lookup / creation (with state handoff from the old
@@ -210,6 +246,9 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 	sg := o.findOrCreateSupergroup()
 	o.ctx.States = sg.states
 	o.ctx.Supers = sg.supers
+	if pt != 0 {
+		pt = o.prof.LapMark(profile.StageGroupLookup, pt)
+	}
 
 	tts := o.curTraces()
 	if tts != nil {
@@ -223,6 +262,9 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 			return fmt.Errorf("operator: WHERE: %w", err)
 		}
 		pass := v.Truth()
+		if pt != 0 {
+			pt = o.prof.LapMark(profile.StageWhere, pt)
+		}
 		for _, tt := range tts {
 			tt.Where(o.trName, pass)
 		}
@@ -246,9 +288,15 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 		o.argVals[i] = v
 		sg.supers[i].OnTuple(v)
 	}
+	if pt != 0 {
+		pt = o.prof.LapMark(profile.StageSfunUpdate, pt)
+	}
 
 	// 6. Group lookup / creation and aggregate update.
 	g, created := o.findOrCreateGroup(sg)
+	if pt != 0 {
+		pt = o.prof.Lap(profile.StageGroupLookup, pt)
+	}
 	if tts != nil {
 		key := g.key.String()
 		for _, tt := range tts {
@@ -282,13 +330,20 @@ func (o *Operator) processSampling(t tuple.Tuple) error {
 			}
 		}
 	}
+	if pt != 0 {
+		pt = o.prof.Lap(profile.StageSfunUpdate, pt)
+	}
 	o.ctx.Aggs = g.aggs
 
 	// 7. CLEANING WHEN on the supergroup; CLEANING BY over its groups.
+	// The sampled lap covers the predicate; the sweep times itself.
 	if o.plan.CleaningWhen != nil {
 		v, err := o.plan.CleaningWhen(&o.ctx)
 		if err != nil {
 			return fmt.Errorf("operator: CLEANING WHEN: %w", err)
+		}
+		if pt != 0 {
+			o.prof.LapMark(profile.StageCleaning, pt)
 		}
 		if v.Truth() {
 			if err := o.cleanSupergroup(sg); err != nil {
@@ -410,6 +465,14 @@ func (o *Operator) findOrCreateGroup(sg *supergroup) (*group, bool) {
 // evicting groups where it evaluates FALSE.
 func (o *Operator) cleanSupergroup(sg *supergroup) error {
 	o.stats.Cleanings++
+	if np := o.prof; np != nil {
+		ct := profile.Now()
+		before := len(sg.groups)
+		defer func() {
+			np.AddExact(profile.StageCleaning, profile.Now()-ct)
+			np.AddRows(profile.StageCleaning, int64(before), int64(before-len(sg.groups)))
+		}()
+	}
 	var cleanStart time.Time
 	if o.om != nil {
 		cleanStart = time.Now()
@@ -482,6 +545,11 @@ func (o *Operator) evictGroup(sg *supergroup, g *group) {
 // applies HAVING to every group (in supergroup, then group, insertion
 // order) and emits the sample, then rotates the supergroup tables.
 func (o *Operator) flushWindow() error {
+	np := o.prof
+	var ft int64
+	if np != nil {
+		ft = profile.Now()
+	}
 	o.stats.Windows++
 	saved := o.ctx
 	defer func() { o.ctx = saved }()
@@ -493,10 +561,23 @@ func (o *Operator) flushWindow() error {
 			}
 		}
 	}
+	if np != nil {
+		// WindowFinal is exact: it runs once per window, not per tuple.
+		np.AddExact(profile.StageSfunUpdate, profile.Now()-ft)
+	}
 	for _, sg := range o.sgList {
 		o.ctx.States = sg.states
 		o.ctx.Supers = sg.supers
 		for _, g := range sg.groups {
+			// The HAVING/emit pass samples groups on the same schedule the
+			// tuple path uses; unsampled groups are covered by scaling.
+			gpt := int64(0)
+			if np != nil {
+				o.profHavingIn++
+				if gpt = np.Begin(); gpt != 0 {
+					np.Mark(profile.StageHaving)
+				}
+			}
 			o.ctx.GroupVals = g.vals
 			o.ctx.Aggs = g.aggs
 			traced := o.tr != nil && len(g.traces) > 0
@@ -511,12 +592,22 @@ func (o *Operator) flushWindow() error {
 				}
 				havingPass = v.Truth()
 			}
+			if gpt != 0 {
+				gpt = np.Lap(profile.StageHaving, gpt)
+			}
 			if traced {
 				o.traceHavingEmit(g, havingPass, o.plan.Having != nil)
 				o.ctx.Trace = nil
 			}
 			if !havingPass {
 				continue
+			}
+			if np != nil {
+				o.profHavingOut++
+				if gpt != 0 {
+					np.Mark(profile.StageEmit)
+					o.lapClock = gpt
+				}
 			}
 			if err := o.output(&o.ctx); err != nil {
 				return err
@@ -526,8 +617,19 @@ func (o *Operator) flushWindow() error {
 	if o.om != nil {
 		o.recordWindow(o.winBase)
 	}
+	if np != nil {
+		groups := 0
+		for _, sg := range o.sgList {
+			groups += len(sg.groups)
+		}
+		np.SetOccupancy(int64(groups), int64(len(o.sgList)), o.approxGroupBytes(groups))
+	}
 	o.windowIdx++
 	o.winBase = o.stats
+	var rt int64
+	if np != nil {
+		rt = profile.Now()
+	}
 	// Rotate: current supergroups become the "old" table for state
 	// handoff; group tables clear.
 	o.groups = make(map[uint64][]*group)
@@ -538,11 +640,31 @@ func (o *Operator) flushWindow() error {
 	}
 	o.sgList = o.sgList[:0]
 	o.windowOpen = false
+	if np != nil || o.om != nil {
+		end := profile.Now()
+		if np != nil {
+			// Rotation is table maintenance: exact, charged to group_lookup.
+			np.AddExact(profile.StageGroupLookup, end-rt)
+		}
+		if o.winStartNS != 0 {
+			latency := float64(end-o.winStartNS) / 1e9
+			if np != nil {
+				np.ObserveWindow(latency)
+			}
+			if o.om != nil && o.om.latency != nil {
+				o.om.latency.Observe(latency)
+			}
+		}
+		o.winStartNS = 0
+		o.SyncProfile()
+	}
 	return nil
 }
 
 // output evaluates the SELECT list and emits one row.
 func (o *Operator) output(ctx *gsql.Ctx) error {
+	lap := o.lapClock
+	o.lapClock = 0
 	row := make(tuple.Tuple, len(o.plan.SelectExprs))
 	for i, sel := range o.plan.SelectExprs {
 		v, err := sel(ctx)
@@ -551,7 +673,19 @@ func (o *Operator) output(ctx *gsql.Ctx) error {
 		}
 		row[i] = v
 	}
+	if lap != 0 {
+		o.prof.Lap(profile.StageEmit, lap)
+	}
 	o.stats.TuplesOut++
+	if o.prof != nil {
+		// Transfer (the downstream copy/callback) is exact per output row:
+		// emitted rows are orders of magnitude rarer than input tuples.
+		t := profile.Now()
+		err := o.emit(row)
+		o.prof.AddExact(profile.StageTransfer, profile.Now()-t)
+		o.prof.AddRows(profile.StageTransfer, 1, 1)
+		return err
+	}
 	return o.emit(row)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"streamop/internal/profile"
 	"streamop/internal/sfun"
 	"streamop/internal/telemetry"
 )
@@ -26,6 +27,7 @@ type opMetrics struct {
 	winCleanings, winEvictions           *telemetry.Series
 	cleanDur                             *telemetry.Histogram
 	cleanEvict                           *telemetry.Histogram
+	latency                              *telemetry.Histogram
 	sfunSeries                           *telemetry.SeriesVec
 
 	synced Stats // counter values already pushed to the registry
@@ -62,6 +64,7 @@ func (o *Operator) SetCollector(c *telemetry.Collector, name string) {
 		winEvictions:   r.SeriesVec("streamop_window_evictions", "groups evicted per window", 0, "node").With(name),
 		cleanDur:       r.HistogramVec("streamop_cleaning_duration_seconds", "duration of one cleaning phase", cleanDurBounds, "node").With(name),
 		cleanEvict:     r.HistogramVec("streamop_cleaning_evictions", "groups evicted by one cleaning phase", cleanEvictBounds, "node").With(name),
+		latency:        r.HistogramVec("streamop_window_latency_seconds", "end-to-end window latency: first tuple of the window to flush complete", profile.LatencyBounds, "node").With(name),
 		sfunSeries:     r.SeriesVec("streamop_sfun_gauge", "per-window SFUN state gauges (first supergroup in insertion order)", 0, "node", "state", "gauge"),
 	}
 	o.om.synced = Stats{}

@@ -1,0 +1,170 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilProfileIsSafe(t *testing.T) {
+	var np *NodeProfile
+	if pt := np.Begin(); pt != 0 {
+		t.Errorf("nil Begin = %d, want 0", pt)
+	}
+	if pt := np.BeginSrc(); pt != 0 {
+		t.Errorf("nil BeginSrc = %d, want 0", pt)
+	}
+	var p *Profiler
+	if np := p.NodeShard("x", 0); np != nil {
+		t.Errorf("nil Profiler.NodeShard = %v, want nil", np)
+	}
+	rep := p.Report()
+	if len(rep.Nodes) != 0 {
+		t.Errorf("nil Profiler.Report has %d nodes, want 0", len(rep.Nodes))
+	}
+}
+
+func TestScheduleMeanGap(t *testing.T) {
+	p := New(Config{Every: 32, Seed: 7})
+	np := p.Node("n")
+	const tuples = 1 << 16
+	sampled := 0
+	for i := 0; i < tuples; i++ {
+		if np.Begin() != 0 {
+			sampled++
+		}
+	}
+	want := tuples / 32
+	if sampled < want*8/10 || sampled > want*12/10 {
+		t.Errorf("sampled %d of %d tuples at 1-in-32, want about %d", sampled, tuples, want)
+	}
+}
+
+func TestEveryOneSamplesEverything(t *testing.T) {
+	p := New(Config{Every: 1})
+	np := p.Node("n")
+	for i := 0; i < 100; i++ {
+		if np.Begin() == 0 {
+			t.Fatalf("tuple %d unsampled at Every=1", i)
+		}
+	}
+}
+
+func TestNodeShardsAreDistinct(t *testing.T) {
+	p := New(Config{Every: 64})
+	a, b := p.NodeShard("n", 0), p.NodeShard("n", 1)
+	if a == b {
+		t.Fatal("distinct shards share a NodeProfile")
+	}
+	if p.NodeShard("n", 0) != a {
+		t.Fatal("re-lookup returned a different NodeProfile")
+	}
+	if p.Node("n") == a {
+		t.Fatal("unsharded profile aliases shard 0")
+	}
+}
+
+func TestReportScalesSampledTime(t *testing.T) {
+	p := New(Config{Every: 1})
+	np := p.Node("n")
+	// 4 sampled rows, 1000ns each, basis of 100 rows: the estimate scales
+	// by 25x (minus the calibrated span overhead).
+	for i := 0; i < 4; i++ {
+		acc := &np.stages[StageWhere]
+		acc.selfNS.Add(1000)
+		acc.spans.Add(1)
+		acc.sampled.Add(1)
+	}
+	np.SyncRows(StageWhere, 100, 60, 100)
+	rep := p.Report()
+	if len(rep.Nodes) != 1 {
+		t.Fatalf("report has %d nodes, want 1", len(rep.Nodes))
+	}
+	sr := rep.Nodes[0].Stages[StageWhere]
+	wantMax := 25.0 * 4000
+	wantMin := 25.0 * (4000 - 4*p.SpanOverheadNS())
+	if sr.SelfNS < wantMin-1 || sr.SelfNS > wantMax+1 {
+		t.Errorf("SelfNS = %v, want in [%v, %v]", sr.SelfNS, wantMin, wantMax)
+	}
+	if sr.Selectivity != 0.6 {
+		t.Errorf("Selectivity = %v, want 0.6", sr.Selectivity)
+	}
+}
+
+func TestReportStageSchemaIsStable(t *testing.T) {
+	p := New(Config{Every: 64})
+	p.Node("a")
+	p.NodeShard("b", 0)
+	rep := p.Report()
+	for _, n := range rep.Nodes {
+		if len(n.Stages) != int(NumStages) {
+			t.Fatalf("node %s has %d stages, want %d", n.Node, len(n.Stages), NumStages)
+		}
+		for s := Stage(0); s < NumStages; s++ {
+			if n.Stages[s].Stage != s.String() {
+				t.Errorf("node %s stage %d = %q, want %q", n.Node, s, n.Stages[s].Stage, s)
+			}
+		}
+	}
+	// The report must marshal cleanly even with zero activity (no NaN).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestRenderSkipsIdleNodes(t *testing.T) {
+	p := New(Config{Every: 64})
+	p.Node("idle")
+	busy := p.Node("busy")
+	busy.AddExact(StageWhere, 1000)
+	busy.SyncRows(StageWhere, 10, 5, 10)
+	out := p.Report().Render()
+	if strings.Contains(out, "idle") {
+		t.Errorf("Render shows idle node:\n%s", out)
+	}
+	if !strings.Contains(out, "busy") || !strings.Contains(out, "where") {
+		t.Errorf("Render missing busy node or stage:\n%s", out)
+	}
+}
+
+func TestLapsTileTime(t *testing.T) {
+	p := New(Config{Every: 1})
+	np := p.Node("n")
+	pt := np.Begin()
+	if pt == 0 {
+		t.Fatal("Begin returned 0 at Every=1")
+	}
+	pt = np.LapMark(StageWhere, pt)
+	pt = np.LapMark(StageGroupLookup, pt)
+	np.LapMark(StageSfunUpdate, pt)
+	var total int64
+	for s := Stage(0); s < NumStages; s++ {
+		total += np.stages[s].selfNS.Load()
+	}
+	// Three consecutive laps share boundaries, so their sum is the span
+	// from Begin to the last lap: small but non-negative.
+	if total < 0 {
+		t.Errorf("summed lap time %dns is negative", total)
+	}
+}
+
+func TestObserveWindowFeedsLatencyReport(t *testing.T) {
+	p := New(Config{Every: 64})
+	np := p.Node("n")
+	np.ObserveWindow(0.002)
+	np.ObserveWindow(0.004)
+	rep := p.Report()
+	lt := rep.Nodes[0].Latency
+	if lt == nil {
+		t.Fatal("no latency report after ObserveWindow")
+	}
+	if lt.Windows != 2 {
+		t.Errorf("latency windows = %d, want 2", lt.Windows)
+	}
+	if lt.P50 <= 0 || lt.P99 < lt.P50 {
+		t.Errorf("quantiles p50=%v p99=%v, want 0 < p50 <= p99", lt.P50, lt.P99)
+	}
+	if rep.Nodes[0].Windows != 2 {
+		t.Errorf("node windows = %d, want 2", rep.Nodes[0].Windows)
+	}
+}

@@ -1,0 +1,230 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StageReport is one stage's cost attribution in a NodeReport. SelfNS is
+// the headline estimate: exact time plus overhead-compensated sampled time
+// scaled from the sampled rows to the full basis population.
+type StageReport struct {
+	Stage       string  `json:"stage"`
+	RowsIn      int64   `json:"rows_in"`
+	RowsOut     int64   `json:"rows_out"`
+	Selectivity float64 `json:"selectivity"` // RowsOut/RowsIn; 1 when RowsIn is 0
+	SampledRows int64   `json:"sampled_rows"`
+	SampledNS   int64   `json:"sampled_ns"` // raw summed lap time
+	ExactNS     int64   `json:"exact_ns"`   // exactly measured, unscaled
+	SelfNS      float64 `json:"self_ns"`    // estimated total stage self-time
+	NSPerRow    float64 `json:"ns_per_row"` // SelfNS / max(RowsIn, 1)
+	TimePct     float64 `json:"time_pct"`   // share of the node's SelfNS
+}
+
+// LatencyReport summarizes a node's window end-to-end latency.
+type LatencyReport struct {
+	Windows int64   `json:"windows"`
+	P50     float64 `json:"p50_seconds"`
+	P95     float64 `json:"p95_seconds"`
+	P99     float64 `json:"p99_seconds"`
+}
+
+// NodeReport is one plan node's (or shard replica's) attribution. Stages
+// always holds NumStages entries in Stage order, so consumers (jq, the CI
+// schema check) can index it positionally.
+type NodeReport struct {
+	Node        string         `json:"node"`
+	Shard       int            `json:"shard"` // -1 when unsharded
+	SelfNS      float64        `json:"self_ns"`
+	Windows     int64          `json:"windows"`
+	Groups      int64          `json:"groups"`
+	Supergroups int64          `json:"supergroups"`
+	GroupBytes  int64          `json:"group_bytes"`
+	Latency     *LatencyReport `json:"window_latency,omitempty"`
+	Stages      []StageReport  `json:"stages"`
+}
+
+// Report is the full profile of one run: the PROFILE.json artifact, the
+// /debug/profile payload and the input to Render.
+type Report struct {
+	SampledEvery   int          `json:"sampled_every"`
+	SpanOverheadNS float64      `json:"span_overhead_ns"`
+	ElapsedNS      int64        `json:"elapsed_ns"` // since profiler construction
+	TotalSelfNS    float64      `json:"total_self_ns"`
+	Nodes          []NodeReport `json:"nodes"`
+}
+
+// Report builds a point-in-time attribution from the accumulators. Safe
+// from any goroutine while the run is in flight.
+func (p *Profiler) Report() Report {
+	if p == nil {
+		return Report{}
+	}
+	p.mu.Lock()
+	nodes := append([]*NodeProfile(nil), p.nodes...)
+	p.mu.Unlock()
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if nodes[i].name != nodes[j].name {
+			return nodes[i].name < nodes[j].name
+		}
+		return nodes[i].shard < nodes[j].shard
+	})
+	rep := Report{
+		SampledEvery:   p.every,
+		SpanOverheadNS: p.spanNS,
+		ElapsedNS:      Now() - p.start,
+	}
+	for _, np := range nodes {
+		nr := np.report(p.spanNS)
+		rep.TotalSelfNS += nr.SelfNS
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	return rep
+}
+
+func (np *NodeProfile) report(spanNS float64) NodeReport {
+	nr := NodeReport{
+		Node:        np.name,
+		Shard:       np.shard,
+		Windows:     np.windows.Load(),
+		Groups:      np.groups.Load(),
+		Supergroups: np.supergroups.Load(),
+		GroupBytes:  np.groupBytes.Load(),
+		Stages:      make([]StageReport, NumStages),
+	}
+	if n := np.latency.Count(); n > 0 {
+		nr.Latency = &LatencyReport{
+			Windows: n,
+			P50:     np.latency.Quantile(0.50),
+			P95:     np.latency.Quantile(0.95),
+			P99:     np.latency.Quantile(0.99),
+		}
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		acc := &np.stages[s]
+		sr := StageReport{
+			Stage:       s.String(),
+			RowsIn:      acc.rowsIn.Load(),
+			RowsOut:     acc.rowsOut.Load(),
+			SampledRows: acc.sampled.Load(),
+			SampledNS:   acc.selfNS.Load(),
+			ExactNS:     acc.exactNS.Load(),
+		}
+		sr.Selectivity = 1
+		if sr.RowsIn > 0 {
+			sr.Selectivity = float64(sr.RowsOut) / float64(sr.RowsIn)
+		}
+		// Compensate the laps' own cost, then scale sampled time from the
+		// sampled rows up to the stage's full population.
+		corrected := float64(sr.SampledNS) - float64(acc.spans.Load())*spanNS
+		if corrected < 0 {
+			corrected = 0
+		}
+		scale := 1.0
+		if basis := acc.basis.Load(); sr.SampledRows > 0 && basis > sr.SampledRows {
+			scale = float64(basis) / float64(sr.SampledRows)
+		}
+		sr.SelfNS = float64(sr.ExactNS) + corrected*scale
+		if sr.RowsIn > 0 {
+			sr.NSPerRow = sr.SelfNS / float64(sr.RowsIn)
+		}
+		nr.SelfNS += sr.SelfNS
+		nr.Stages[s] = sr
+	}
+	if nr.SelfNS > 0 {
+		for s := range nr.Stages {
+			nr.Stages[s].TimePct = 100 * nr.Stages[s].SelfNS / nr.SelfNS
+		}
+	}
+	return nr
+}
+
+// Render writes the report as a text plan tree: one block per node with
+// per-stage time share, row flow and per-row cost — the `gsq -profile`
+// exit summary.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: sampling 1 in %d · span overhead %.0fns/lap (compensated) · elapsed %s\n",
+		r.SampledEvery, r.SpanOverheadNS, fmtNS(float64(r.ElapsedNS)))
+	for _, n := range r.Nodes {
+		// Skip nodes that saw no activity (e.g. a sharded node's idle
+		// unsharded profile after RunParallel).
+		if n.SelfNS == 0 && n.Windows == 0 && !anyRows(n.Stages) {
+			continue
+		}
+		name := n.Node
+		if n.Shard >= 0 {
+			name = fmt.Sprintf("%s[shard %d]", n.Node, n.Shard)
+		}
+		fmt.Fprintf(&b, "%s  self %s", name, fmtNS(n.SelfNS))
+		if n.Windows > 0 {
+			fmt.Fprintf(&b, " · windows %d", n.Windows)
+		}
+		if n.Groups > 0 || n.Supergroups > 0 {
+			fmt.Fprintf(&b, " · groups %d (~%s) · supergroups %d",
+				n.Groups, fmtBytes(n.GroupBytes), n.Supergroups)
+		}
+		b.WriteByte('\n')
+		if lt := n.Latency; lt != nil {
+			fmt.Fprintf(&b, "  window latency p50=%s p95=%s p99=%s (%d windows)\n",
+				fmtNS(lt.P50*1e9), fmtNS(lt.P95*1e9), fmtNS(lt.P99*1e9), lt.Windows)
+		}
+		live := make([]StageReport, 0, len(n.Stages))
+		for _, s := range n.Stages {
+			if s.SelfNS > 0 || s.RowsIn > 0 || s.RowsOut > 0 {
+				live = append(live, s)
+			}
+		}
+		for i, s := range live {
+			branch := "├─"
+			if i == len(live)-1 {
+				branch = "└─"
+			}
+			fmt.Fprintf(&b, "  %s %-12s %5.1f%%  %9s  %d → %d rows", branch, s.Stage, s.TimePct, fmtNS(s.SelfNS), s.RowsIn, s.RowsOut)
+			if s.RowsIn > 0 && s.RowsOut != s.RowsIn {
+				fmt.Fprintf(&b, " (%.1f%%)", 100*s.Selectivity)
+			}
+			if s.NSPerRow > 0 {
+				fmt.Fprintf(&b, "  %.0f ns/row", s.NSPerRow)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func anyRows(stages []StageReport) bool {
+	for _, s := range stages {
+		if s.RowsIn > 0 || s.RowsOut > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func fmtNS(ns float64) string {
+	switch {
+	case ns < 0:
+		return "0"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%d B", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	}
+}

@@ -91,6 +91,56 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// NewHistogram returns a standalone histogram with the given cumulative
+// upper bounds (+Inf is implicit), outside any registry — for components
+// that need observation counts and quantiles without a collector attached
+// (the profiler's window-latency histogram).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs}
+	h.counts = make([]atomic.Int64, len(bs)+1)
+	return h
+}
+
+// Quantile returns an interpolated estimate of the q-quantile (q clamped
+// to [0, 1]) from the cumulative buckets, assuming observations are
+// uniformly distributed within each bucket and non-negative (the first
+// bucket interpolates from 0). It returns NaN for an empty histogram or
+// one with no finite bounds; when the rank falls in the +Inf bucket it
+// returns the highest finite bound, the histogram_quantile convention.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			inBucket := cum - prev
+			if inBucket == 0 {
+				return b
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(prev)) / float64(inBucket)
+			return lo + (b-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

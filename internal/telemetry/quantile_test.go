@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile estimates are interpolated within the bucket containing the
+// rank; these tests pin the edge cases the estimator must not mangle:
+// empty histograms, single-bucket mass, and observations beyond the
+// highest finite bound (the implicit +Inf bucket).
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("Quantile(%v) on empty histogram = %v, want NaN", q, v)
+		}
+	}
+	if v := NewHistogram(nil).Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("Quantile on boundless histogram = %v, want NaN", v)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	// All mass in the (1, 10] bucket: every quantile interpolates inside it.
+	for i := 0; i < 8; i++ {
+		h.Observe(5)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		v := h.Quantile(q)
+		if v < 1 || v > 10 {
+			t.Errorf("Quantile(%v) = %v, want within (1, 10]", q, v)
+		}
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 > p99 {
+		t.Errorf("p50 %v > p99 %v", p50, p99)
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(3)
+	h.Observe(4)
+	// Both observations sit in [0, 10]; the median interpolates from 0.
+	if v := h.Quantile(0.5); v < 0 || v > 10 {
+		t.Errorf("Quantile(0.5) = %v, want within [0, 10]", v)
+	}
+}
+
+func TestQuantileOverflowBucketClampsToHighestBound(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(1e6) // lands in the implicit +Inf bucket
+	h.Observe(1e6)
+	// p99's rank falls in the overflow bucket, which has no finite upper
+	// edge: the estimate clamps to the highest finite bound.
+	if v := h.Quantile(0.99); v != 10 {
+		t.Errorf("Quantile(0.99) = %v, want clamp to 10", v)
+	}
+	// p-small still resolves inside the finite buckets.
+	if v := h.Quantile(0.1); v < 0 || v > 1 {
+		t.Errorf("Quantile(0.1) = %v, want within [0, 1]", v)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	if v := h.Quantile(-3); math.IsNaN(v) || v > 1 {
+		t.Errorf("Quantile(-3) = %v, want finite value <= 1", v)
+	}
+	if v := h.Quantile(7); math.IsNaN(v) || v > 10 {
+		t.Errorf("Quantile(7) = %v, want finite value <= 10", v)
+	}
+}
+
+func TestQuantileMonotoneAcrossBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 3.5, 6, 7, 12, 15, 15.5} {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%.2f) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -43,6 +43,17 @@ BEGIN { print "["; first = 1 }
 END { print "\n]" }
 ' "$raw" > "$out"
 
+# An empty array means the awk pass matched no benchmark lines (a renamed
+# prefix, a compile failure swallowed by tee, ...): fail loudly instead of
+# committing a hollow artifact.
+require_nonempty() {
+    if ! grep -q '"name"' "$1"; then
+        echo "bench.sh: $1 contains no benchmark results" >&2
+        exit 1
+    fi
+}
+require_nonempty "$out"
+
 echo "wrote $out"
 
 # Shard-scaling sweep: rerun the sharded benchmarks across GOMAXPROCS
@@ -67,5 +78,6 @@ BEGIN { print "["; first = 1 }
 }
 END { print "\n]" }
 ' "$praw" > "$pout"
+require_nonempty "$pout"
 
 echo "wrote $pout"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# profile.sh — run the cost-attribution ablation and record the results.
+#
+# Usage: scripts/profile.sh [seed]
+#
+#   seed   random seed for the feed and sampler (default 42)
+#
+# Reruns the genericity-overhead workload (BenchmarkAblationOverhead's
+# dynamic subset-sum query vs. the hand-coded sampler) with the per-node
+# profiler attached, prints the markdown cost-attribution table that
+# breaks the overhead factor down by plan stage, and writes the
+# machine-readable version as BENCH_profile.json in the repo root — the
+# baseline the hot-path refactor (ROADMAP) is judged against.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed="${1:-42}"
+out="BENCH_profile.json"
+
+go run ./cmd/experiments -fig profile -seed "$seed" -profile "$out"
+
+# The run must have produced a non-empty attribution: a JSON object with
+# at least one per-stage cost row.
+if [ ! -s "$out" ]; then
+    echo "profile.sh: $out is empty" >&2
+    exit 1
+fi
+if command -v jq >/dev/null 2>&1; then
+    n="$(jq '.stages | length' "$out")"
+    if [ "$n" -eq 0 ]; then
+        echo "profile.sh: $out has no stage attribution" >&2
+        exit 1
+    fi
+fi
+
+echo "wrote $out"
