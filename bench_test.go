@@ -352,6 +352,65 @@ CLEANING BY ssclean_with(sum(len)) = TRUE`
 	}
 }
 
+// BenchmarkEstimatorOverheadGuard enforces the estimator budget: the
+// dynamic subset-sum query with an ESTIMATE ... WITH ERROR column (per-row
+// deferred emission, Horvitz-Thompson accumulation, five extra output
+// columns) must stay within 5% of the plain adjusted-weight query.
+// Non-estimating plans take none of the new code paths, so the base side
+// of this pair prices only the guard branches. Metric: min-vs-min overhead
+// in percent.
+func BenchmarkEstimatorOverheadGuard(b *testing.B) {
+	const base = `
+SELECT tb, uts, srcIP, UMAX(sum(len), ssthreshold()) AS adjlen
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/1 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+	const estimating = `
+SELECT tb, uts, srcIP, ESTIMATE sum(len) WITH ERROR AS vol
+FROM PKT
+WHERE ssample(len, 1000, 2, 10) = TRUE
+GROUP BY time/1 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+	feed, err := trace.NewSteady(trace.SteadyConfig{Seed: 1, Duration: 1e9, Rate: 20000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]trace.Packet, 1<<18)
+	for i := range pkts {
+		pkts[i], _ = feed.Next()
+	}
+	pass := func(query string) time.Duration {
+		q, err := streamop.Compile(query, streamop.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		for _, p := range pkts {
+			if err := q.ProcessPacket(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := q.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	pass(base) // warm up caches before the first measured pair
+	overhead := guardOverhead(b.N,
+		func() time.Duration { return pass(base) },
+		func() time.Duration { return pass(estimating) })
+	b.ReportMetric(100*overhead, "overhead-%")
+	if overhead > 0.05 {
+		b.Errorf("estimator overhead %.1f%% exceeds the 5%% budget", 100*overhead)
+	}
+}
+
 // sliceFeed replays a fixed packet slice, so paired engine runs see
 // byte-identical input.
 type sliceFeed struct {

@@ -13,10 +13,13 @@
 //	experiments -fig ddos    # sampled-flows under DDoS (§8 example)
 //	experiments -fig overhead|relax|hhpush|cascade   # ablations
 //	experiments -fig shard   # sharded partial-agg throughput sweep
+//	experiments -fig coverage   # empirical CI-coverage audit of ESTIMATE ... WITH ERROR
 //	experiments -fig all
 //
 // -quick shrinks every run for smoke testing; -seed controls all
-// randomness, so output is fully reproducible.
+// randomness, so output is fully reproducible. -o DIR mirrors stdout to
+// DIR/experiments_output.txt so runs leave a durable record next to their
+// other artifacts instead of polluting the working directory.
 //
 // -metrics serves live Prometheus telemetry plus the /debug introspection
 // surface (/debug/plan, /debug/state, /debug/pprof) for every operator and
@@ -32,7 +35,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"streamop/internal/experiments"
 	"streamop/internal/profile"
@@ -41,10 +46,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,profile,relax,hhpush,cascade,shard,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,theta,sizes,ddos,overhead,profile,relax,hhpush,cascade,shard,coverage,all")
 	seed := flag.Uint64("seed", 42, "random seed for feeds and algorithms")
 	quick := flag.Bool("quick", false, "shrink runs for a fast smoke test")
+	outDir := flag.String("o", "", "mirror stdout to <dir>/experiments_output.txt, creating the directory")
 	profileOut := flag.String("profile", "", "with -fig profile: also write the cost-attribution JSON (the BENCH_profile.json shape) to this file")
+	coverageOut := flag.String("coverage-out", "", "with -fig coverage: also write the CI-coverage audit JSON (the BENCH_accuracy.json shape) to this file")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus telemetry and /debug introspection on this address while figures run")
 	eventsFile := flag.String("events", "", "stream JSONL telemetry events to this file")
 	traceOut := flag.String("trace", "", "write provenance traces from every engine as Chrome trace-event JSON to this file")
@@ -56,7 +63,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	runErr := run(*fig, *seed, *quick, *profileOut)
+	closeTee := func() error { return nil }
+	if *outDir != "" {
+		closeTee, err = teeStdout(filepath.Join(*outDir, "experiments_output.txt"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	runErr := run(*fig, *seed, *quick, *profileOut, *coverageOut)
+	if err := closeTee(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if err := cleanup(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -139,7 +157,45 @@ func setupTelemetry(metricsAddr, eventsFile, traceOut string, traceEvery int, se
 	return cleanup, nil
 }
 
-func run(fig string, seed uint64, quick bool, profileOut string) error {
+// teeStdout mirrors everything written to stdout into path (creating its
+// directory first), so a -o run leaves a durable experiments_output.txt
+// next to its other artifacts. The returned func restores stdout, drains
+// the copier and closes the file.
+func teeStdout(path string) (func() error, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.MultiWriter(orig, f), r)
+		done <- err
+	}()
+	return func() error {
+		os.Stdout = orig
+		w.Close()
+		copyErr := <-done
+		r.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return copyErr
+	}, nil
+}
+
+func run(fig string, seed uint64, quick bool, profileOut, coverageOut string) error {
 	switch fig {
 	case "2", "3", "4":
 		return accuracyFigs(fig, seed, quick, 0)
@@ -170,10 +226,12 @@ func run(fig string, seed uint64, quick bool, profileOut string) error {
 		return relaxFig(seed, quick)
 	case "shard":
 		return shardFig(seed, quick)
+	case "coverage":
+		return coverageFig(seed, quick, coverageOut)
 	case "all":
-		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "profile", "relax", "hhpush", "cascade", "shard"} {
+		for _, f := range []string{"2", "3", "4", "5", "6", "theta", "sizes", "ddos", "overhead", "profile", "relax", "hhpush", "cascade", "shard", "coverage"} {
 			fmt.Printf("\n================ -fig %s ================\n", f)
-			if err := run(f, seed, quick, profileOut); err != nil {
+			if err := run(f, seed, quick, profileOut, coverageOut); err != nil {
 				return err
 			}
 		}
@@ -416,6 +474,40 @@ func cascadeFig(seed uint64, quick bool) error {
 	fmt.Printf("cascade mean rel.err:    %.3f (scaled estimator)\n", res.MeanRelErrCascade)
 	fmt.Printf("direct SS(50) rel.err:   %.3f\n", res.MeanRelErrDirect)
 	fmt.Printf("cascade final samples:   %.1f per window (cap 50)\n", res.MeanFinalSamples)
+	return nil
+}
+
+// coverageFig runs the empirical CI-coverage audit across the three
+// sampling families and prints per-family coverage; with -coverage-out
+// FILE it also writes the machine-readable JSON that becomes
+// BENCH_accuracy.json (scripts/accuracy.sh).
+func coverageFig(seed uint64, quick bool, out string) error {
+	cfg := experiments.DefaultCoverage(seed)
+	if quick {
+		cfg = experiments.QuickCoverage(seed)
+	}
+	res, err := experiments.Coverage(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CI-coverage audit — nominal 95%% intervals of ESTIMATE ... WITH ERROR vs true windowed sums (%d windows of %ds)\n",
+		cfg.Windows, cfg.WindowSec)
+	fmt.Printf("%-12s %10s %14s %16s %10s\n", "family", "coverage", "mean rel.err", "mean CI width", "mean ESS")
+	for _, f := range res {
+		fmt.Printf("%-12s %6d/%-3d %14.3f %16.3f %10.0f\n",
+			f.Family, f.Covered, f.Total, f.MeanRelErr, f.MeanCIWidthRel, f.MeanESS)
+	}
+	if out == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: coverage audit written to %s\n", out)
 	return nil
 }
 

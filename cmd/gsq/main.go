@@ -43,9 +43,10 @@
 // Run artifacts are unified under -o DIR: -artifacts selects which files
 // to write (default "events,metrics,state"; add "trace" for provenance
 // traces, "replay" to record the consumed feed as a replayable capture,
-// and "profile" for the per-stage cost attribution). The directory gets
-// events.jsonl, metrics.prom, state.json, trace.json, replay.sopt and
-// PROFILE.json as selected. The old per-artifact flags -events FILE and
+// "profile" for the per-stage cost attribution, and "accuracy" for the
+// final estimator accuracy snapshot of ESTIMATE … WITH ERROR queries).
+// The directory gets events.jsonl, metrics.prom, state.json, trace.json,
+// replay.sopt, PROFILE.json and ACCURACY.json as selected. The old per-artifact flags -events FILE and
 // -trace FILE still work but are deprecated aliases.
 //
 // -profile runs the query with sampled per-stage cost profiling — the
@@ -151,7 +152,7 @@ func main() {
 	flag.StringVar(&cfg.Overload, "overload", "", "ring admission policy for every ring: drop-tail|shed-sample|block (overrides the query's OVERLOAD clause)")
 	flag.StringVar(&cfg.Inject, "inject", "", `deterministic fault injectors wrapping the feed, e.g. "drop:0.01,burst:256@0.5,stall:1ms@0.25,slow:20us" (seeded by -seed)`)
 	flag.StringVar(&cfg.OutDir, "o", "", "write run artifacts into this directory (created if absent); see -artifacts")
-	flag.StringVar(&cfg.Artifacts, "artifacts", defaultArtifacts, "with -o: comma list of artifacts to write: events,metrics,state,trace,replay,profile")
+	flag.StringVar(&cfg.Artifacts, "artifacts", defaultArtifacts, "with -o: comma list of artifacts to write: events,metrics,state,trace,replay,profile,accuracy")
 	flag.StringVar(&cfg.Checkpoint, "checkpoint", "", "write crash-safe state snapshots into this directory (see docs/ROBUSTNESS.md)")
 	flag.Int64Var(&cfg.CkptEvery, "checkpoint-every", 1, "with -checkpoint: snapshot every N closed windows (0 = only on SIGINT/SIGTERM)")
 	flag.BoolVar(&cfg.Restore, "restore", false, "with -checkpoint: resume from the newest valid snapshot in the directory")
@@ -239,7 +240,7 @@ func run(cfg config) error {
 		defer f.Close()
 		out := bufio.NewWriter(f)
 		col = telemetry.NewWithEvents(out)
-	} else if metricsAddr != "" || art.Metrics != "" || art.State != "" {
+	} else if metricsAddr != "" || art.Metrics != "" || art.State != "" || art.Accuracy != "" {
 		col = telemetry.New()
 	}
 	var srv *http.Server
@@ -249,11 +250,11 @@ func run(cfg config) error {
 			return err
 		}
 		srv = s
-		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics, introspection at /debug/{plan,state,profile,pprof}\n", addr)
-	} else if art.State != "" {
-		// The state artifact snapshots /debug/state at exit; building the
-		// handler flips DebugActive so operators publish their boundary
-		// snapshots even though nothing serves HTTP.
+		fmt.Fprintf(os.Stderr, "gsq: telemetry at http://%s/metrics, introspection at /debug/{plan,state,profile,accuracy,pprof}\n", addr)
+	} else if art.State != "" || art.Accuracy != "" {
+		// The state and accuracy artifacts snapshot /debug/{state,accuracy}
+		// at exit; building the handler flips DebugActive so operators
+		// publish their boundary snapshots even though nothing serves HTTP.
 		_ = col.Handler()
 	}
 
@@ -450,12 +451,13 @@ const defaultArtifacts = "events,metrics,state"
 // the -artifacts selection, or at the paths the deprecated -events and
 // -trace aliases name directly. An empty path disables the artifact.
 type artifactPaths struct {
-	Events  string // JSONL telemetry event stream
-	Metrics string // final Prometheus exposition
-	State   string // final /debug/state snapshot
-	Trace   string // Chrome trace-event provenance JSON
-	Replay  string // binary capture of the input feed
-	Profile string // final per-stage cost attribution (PROFILE.json)
+	Events   string // JSONL telemetry event stream
+	Metrics  string // final Prometheus exposition
+	State    string // final /debug/state snapshot
+	Trace    string // Chrome trace-event provenance JSON
+	Replay   string // binary capture of the input feed
+	Profile  string // final per-stage cost attribution (PROFILE.json)
+	Accuracy string // final estimator accuracy snapshot (ACCURACY.json)
 }
 
 func resolveArtifacts(cfg config) (artifactPaths, error) {
@@ -495,9 +497,11 @@ func resolveArtifacts(cfg config) (artifactPaths, error) {
 			a.Replay = filepath.Join(cfg.OutDir, "replay.sopt")
 		case "profile":
 			a.Profile = filepath.Join(cfg.OutDir, "PROFILE.json")
+		case "accuracy":
+			a.Accuracy = filepath.Join(cfg.OutDir, "ACCURACY.json")
 		case "":
 		default:
-			return a, fmt.Errorf("unknown artifact %q (valid: events,metrics,state,trace,replay,profile)", strings.TrimSpace(name))
+			return a, fmt.Errorf("unknown artifact %q (valid: events,metrics,state,trace,replay,profile,accuracy)", strings.TrimSpace(name))
 		}
 	}
 	return a, nil
@@ -549,6 +553,16 @@ func writeRunArtifacts(art artifactPaths, rec *trace.Writer, recFile *os.File, c
 			return enc.Encode(rep)
 		}); err != nil {
 			return fmt.Errorf("writing profile: %w", err)
+		}
+	}
+	if art.Accuracy != "" {
+		acc := col.DebugData("accuracy")
+		if err := writeFileWith(art.Accuracy, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(acc)
+		}); err != nil {
+			return fmt.Errorf("writing accuracy: %w", err)
 		}
 	}
 	return nil

@@ -69,6 +69,31 @@ func (e *Engine) registerDebug(c *telemetry.Collector) {
 	// Report() is built entirely from atomics, so a mid-run scrape is safe;
 	// a nil profiler renders as an empty report.
 	c.SetDebugSource("profile", "engine", func() any { return e.Profiler().Report() })
+	c.SetDebugSource("accuracy", "engine", func() any { return e.debugAccuracy() })
+}
+
+// NodeAccuracy is one estimating node's entry in /debug/accuracy.
+type NodeAccuracy struct {
+	Name  string                  `json:"name"`
+	State *operator.AccuracyState `json:"state"`
+}
+
+// debugAccuracy collects the boundary-consistent accuracy snapshots of
+// every node whose plan carries ESTIMATE columns. Nodes without estimates
+// (and partial-agg nodes, which reject estimating plans) are omitted.
+func (e *Engine) debugAccuracy() []NodeAccuracy {
+	out := []NodeAccuracy{}
+	for _, n := range e.low {
+		if n.op.Estimating() {
+			out = append(out, NodeAccuracy{Name: n.name, State: n.op.AccuracySnapshot()})
+		}
+	}
+	for _, n := range e.high {
+		if n.op.Estimating() {
+			out = append(out, NodeAccuracy{Name: n.name, State: n.op.AccuracySnapshot()})
+		}
+	}
+	return out
 }
 
 func (e *Engine) debugPlan() []NodePlan {

@@ -1,0 +1,234 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamop/internal/engine"
+	"streamop/internal/telemetry"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// estEngQuery is the high-level estimating query used across the engine
+// estimator tests: the paper's dynamic subset-sum shape with an ESTIMATE
+// column instead of the UMAX adjusted weight.
+const estEngQuery = `
+SELECT tb, uts, ESTIMATE sum(len) WITH ERROR AS vol
+FROM sel
+WHERE ssample(len, 200, 2, 10) = TRUE
+GROUP BY time/2 as tb, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+
+// buildEstimating wires PKT -> sel (pass-through) -> est (estimating
+// subset-sum) and collects every output row, cloned so later buffer reuse
+// can't alias.
+func buildEstimating(t *testing.T) (*engine.Engine, *engine.Node, *[]tuple.Tuple) {
+	t.Helper()
+	e, _ := engine.New(8192)
+	low := mustPlan(t, "SELECT time, srcIP, len, uts FROM PKT", trace.Schema())
+	lowNode, err := e.AddLowLevel("sel", low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := mustPlan(t, estEngQuery, lowNode.Schema())
+	n, err := e.AddHighLevel("est", lowNode, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	rows := &[]tuple.Tuple{}
+	n.Subscribe(func(row tuple.Tuple) error {
+		mu.Lock()
+		*rows = append(*rows, append(tuple.Tuple(nil), row...))
+		mu.Unlock()
+		return nil
+	})
+	return e, n, rows
+}
+
+// TestEstimateRunParallelMatchesRun is the exactness acceptance check:
+// the estimator columns (estimate, stderr, CI bounds, ESS) of every row
+// must be bit-identical between serial Run and RunParallel.
+func TestEstimateRunParallelMatchesRun(t *testing.T) {
+	cfg := trace.SteadyConfig{Seed: 41, Duration: 3.9, Rate: 30000}
+
+	eSeq, _, seqRows := buildEstimating(t)
+	feed1, _ := trace.NewSteady(cfg)
+	if err := eSeq.Run(feed1); err != nil {
+		t.Fatal(err)
+	}
+
+	ePar, _, parRows := buildEstimating(t)
+	feed2, _ := trace.NewSteady(cfg)
+	if err := ePar.RunParallel(feed2, 0); err != nil { // unpaced: no drops
+		t.Fatal(err)
+	}
+
+	if len(*seqRows) == 0 {
+		t.Fatal("serial run produced no rows")
+	}
+	if len(*seqRows) != len(*parRows) {
+		t.Fatalf("row counts differ: serial %d, parallel %d", len(*seqRows), len(*parRows))
+	}
+	for i := range *seqRows {
+		s, p := (*seqRows)[i], (*parRows)[i]
+		if len(s) != len(p) {
+			t.Fatalf("row %d widths differ: %d vs %d", i, len(s), len(p))
+		}
+		for c := range s {
+			if !value.Equal(s[c], p[c]) {
+				t.Fatalf("row %d col %d: serial %v, parallel %v", i, c, s[c], p[c])
+			}
+		}
+	}
+}
+
+// TestPartialAggRejectsEstimate: the sharded partial-aggregation path has
+// no per-shard view of the final inclusion probabilities, so estimating
+// plans must be refused at topology-build time, not silently mis-estimated.
+func TestPartialAggRejectsEstimate(t *testing.T) {
+	e, _ := engine.New(1024)
+	plan := mustPlan(t, `
+SELECT tb, uts, ESTIMATE sum(len) WITH ERROR AS vol
+FROM PKT GROUP BY time/1 as tb, uts`, trace.Schema())
+	if _, err := e.AddLowLevelPartialAgg("p", plan, 16); err == nil {
+		t.Fatal("AddLowLevelPartialAgg accepted an estimating plan")
+	} else if !strings.Contains(err.Error(), "ESTIMATE") {
+		t.Fatalf("rejection should name ESTIMATE: %v", err)
+	}
+}
+
+// accuracyPayload mirrors the /debug/accuracy JSON schema documented in
+// docs/OBSERVABILITY.md.
+type accuracyPayload struct {
+	Engine []struct {
+		Name  string `json:"name"`
+		State *struct {
+			At      string `json:"at"`
+			Window  int64  `json:"window"`
+			Columns []struct {
+				Column   string  `json:"column"`
+				Expr     string  `json:"expr"`
+				Estimate float64 `json:"estimate"`
+				Stderr   float64 `json:"stderr"`
+				CILo     float64 `json:"ci_lo"`
+				CIHi     float64 `json:"ci_hi"`
+				ESS      float64 `json:"ess"`
+				N        int64   `json:"n"`
+			} `json:"columns"`
+			History []struct {
+				Window  int64           `json:"window"`
+				Columns json.RawMessage `json:"columns"`
+			} `json:"history"`
+		} `json:"state"`
+	} `json:"engine"`
+}
+
+// TestDebugAccuracyEndpoint round-trips /debug/accuracy through a real
+// handler after a run and checks the schema consumers depend on.
+func TestDebugAccuracyEndpoint(t *testing.T) {
+	c := telemetry.New()
+	e, _, _ := buildEstimating(t)
+	e.SetCollector(c)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 42, Duration: 3.9, Rate: 30000})
+	if err := e.Run(feed); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var body accuracyPayload
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(body.Engine) != 1 {
+		t.Fatalf("estimating nodes = %d, want 1 (only \"est\" estimates)", len(body.Engine))
+	}
+	n := body.Engine[0]
+	if n.Name != "est" || n.State == nil {
+		t.Fatalf("bad node entry: %+v", n)
+	}
+	st := n.State
+	if st.At != "window_flush" {
+		t.Errorf("at = %q, want window_flush", st.At)
+	}
+	if len(st.Columns) != 1 {
+		t.Fatalf("columns = %d, want 1", len(st.Columns))
+	}
+	col := st.Columns[0]
+	if col.Column != "vol" || col.Expr == "" {
+		t.Errorf("column identity: %+v", col)
+	}
+	if col.Estimate <= 0 || col.N <= 0 || col.ESS <= 0 {
+		t.Errorf("column values implausible: %+v", col)
+	}
+	if col.CILo > col.Estimate || col.CIHi < col.Estimate {
+		t.Errorf("CI [%v, %v] does not bracket estimate %v", col.CILo, col.CIHi, col.Estimate)
+	}
+	if len(st.History) == 0 {
+		t.Error("history empty after a multi-window run")
+	}
+}
+
+// TestDebugAccuracyConcurrentScrape hammers the endpoint while RunParallel
+// is processing — the race detector holds the snapshot publication honest.
+func TestDebugAccuracyConcurrentScrape(t *testing.T) {
+	c := telemetry.New()
+	e, _, _ := buildEstimating(t)
+	e.SetCollector(c)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := srv.Client().Get(srv.URL + "/debug/accuracy")
+				if err != nil {
+					return // server shutting down
+				}
+				var body accuracyPayload
+				dec := json.NewDecoder(resp.Body)
+				if err := dec.Decode(&body); err != nil {
+					t.Errorf("mid-run decode: %v", err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	feed, _ := trace.NewSteady(trace.SteadyConfig{Seed: 43, Duration: 3.9, Rate: 30000})
+	err := e.RunParallel(feed, 0)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

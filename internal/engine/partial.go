@@ -287,6 +287,12 @@ func (e *Engine) AddLowLevelPartialAgg(name string, plan *gsql.Plan, slots int) 
 		len(plan.Supers) > 0 || len(plan.States) > 0 {
 		return nil, fmt.Errorf("engine: partial-agg node %q supports plain grouping/aggregation only", name)
 	}
+	if len(plan.Estimates) > 0 {
+		// ESTIMATE columns need the operator's sampling states and
+		// window-scoped HT pass; the sharded fold path has neither. Run
+		// estimating queries as regular low-level nodes.
+		return nil, fmt.Errorf("engine: partial-agg node %q cannot compute ESTIMATE columns", name)
+	}
 	if slots < 1 {
 		return nil, fmt.Errorf("engine: partial-agg node %q needs at least 1 slot", name)
 	}

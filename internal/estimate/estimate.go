@@ -1,0 +1,80 @@
+// Package estimate implements Horvitz–Thompson estimation with running
+// variance for the sampling families in sfunlib. Each sampled record
+// carries a value y and an inclusion probability π exposed by its sampling
+// state (subset-sum threshold, reservoir fraction, priority threshold);
+// the HT estimator of the population total is Σ y/π with unbiased
+// variance estimate Σ y²(1−π)/π². For threshold schemes (π = min(1, w/τ)
+// with y = w) the variance term reduces to τ·(τ−w) for w < τ, the
+// standard threshold-sampling variance estimator; for without-replacement
+// schemes the independence assumption makes the interval conservative
+// (coverage at or above nominal), which is the safe direction for an
+// accuracy monitor.
+package estimate
+
+import "math"
+
+// Z95 is the two-sided 95% normal critical value used for the confidence
+// intervals reported by Result.
+const Z95 = 1.96
+
+// Accumulator folds (value, inclusion probability) pairs into a running
+// Horvitz–Thompson estimate of the population total. The zero value is
+// ready to use.
+type Accumulator struct {
+	est    float64 // Σ y/π
+	varSum float64 // Σ y²(1−π)/π²
+	invP   float64 // Σ 1/π
+	invP2  float64 // Σ 1/π²
+	n      int64   // observations folded in
+}
+
+// Add folds one sampled observation with value y and inclusion
+// probability p into the accumulator. p is clamped to (0, 1]: p ≥ 1 means
+// the record was certainly included (contributes no variance), and
+// non-positive p is treated as 1 rather than dividing by zero (a sampling
+// state that reports π ≤ 0 is mis-specified; crediting the raw value is
+// the conservative recovery).
+func (a *Accumulator) Add(y, p float64) {
+	if !(p > 0) || p > 1 {
+		p = 1
+	}
+	a.est += y / p
+	a.varSum += y * y * (1 - p) / (p * p)
+	a.invP += 1 / p
+	a.invP2 += 1 / (p * p)
+	a.n++
+}
+
+// Reset returns the accumulator to its zero state.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// N reports the number of observations folded in so far.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Result is a finalized estimate: the HT point estimate of the population
+// total, its standard error, the nominal 95% confidence interval, and the
+// Kish effective sample size (Σ1/π)²/(Σ1/π²) — the number of equal-weight
+// observations carrying the same information as the weighted sample.
+type Result struct {
+	Estimate float64
+	Stderr   float64
+	CILo     float64
+	CIHi     float64
+	ESS      float64
+	N        int64
+}
+
+// Result finalizes the accumulator into a Result. An empty accumulator
+// yields the zero Result (estimate 0, width-0 interval, ESS 0).
+func (a *Accumulator) Result() Result {
+	r := Result{Estimate: a.est, N: a.n}
+	if a.varSum > 0 {
+		r.Stderr = math.Sqrt(a.varSum)
+	}
+	r.CILo = r.Estimate - Z95*r.Stderr
+	r.CIHi = r.Estimate + Z95*r.Stderr
+	if a.invP2 > 0 {
+		r.ESS = a.invP * a.invP / a.invP2
+	}
+	return r
+}

@@ -1,0 +1,113 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	r := a.Result()
+	if r != (Result{}) {
+		t.Fatalf("empty accumulator: got %+v, want zero Result", r)
+	}
+}
+
+func TestCertainInclusionIsExact(t *testing.T) {
+	var a Accumulator
+	total := 0.0
+	for _, y := range []float64{3, 5, 7.5, 11} {
+		a.Add(y, 1)
+		total += y
+	}
+	r := a.Result()
+	if !almost(r.Estimate, total) {
+		t.Fatalf("estimate %v, want %v", r.Estimate, total)
+	}
+	if r.Stderr != 0 || r.CILo != r.Estimate || r.CIHi != r.Estimate {
+		t.Fatalf("π=1 must give a zero-width interval: %+v", r)
+	}
+	if !almost(r.ESS, 4) || r.N != 4 {
+		t.Fatalf("ESS %v N %v, want 4 and 4", r.ESS, r.N)
+	}
+}
+
+func TestUniformHalfProbability(t *testing.T) {
+	var a Accumulator
+	a.Add(2, 0.5)
+	a.Add(4, 0.5)
+	r := a.Result()
+	// est = 2/0.5 + 4/0.5 = 12; var = 4·0.5/0.25 + 16·0.5/0.25 = 8+32 = 40.
+	if !almost(r.Estimate, 12) {
+		t.Fatalf("estimate %v, want 12", r.Estimate)
+	}
+	want := math.Sqrt(40)
+	if !almost(r.Stderr, want) {
+		t.Fatalf("stderr %v, want %v", r.Stderr, want)
+	}
+	if !almost(r.CILo, 12-Z95*want) || !almost(r.CIHi, 12+Z95*want) {
+		t.Fatalf("CI [%v, %v], want [%v, %v]", r.CILo, r.CIHi, 12-Z95*want, 12+Z95*want)
+	}
+	// Uniform weights: ESS equals n.
+	if !almost(r.ESS, 2) {
+		t.Fatalf("ESS %v, want 2", r.ESS)
+	}
+}
+
+func TestMixedProbabilitiesESS(t *testing.T) {
+	var a Accumulator
+	a.Add(10, 1)
+	a.Add(10, 0.1)
+	r := a.Result()
+	// invP = 1 + 10 = 11; invP2 = 1 + 100 = 101; ESS = 121/101.
+	if !almost(r.ESS, 121.0/101.0) {
+		t.Fatalf("ESS %v, want %v", r.ESS, 121.0/101.0)
+	}
+	if !almost(r.Estimate, 110) {
+		t.Fatalf("estimate %v, want 110", r.Estimate)
+	}
+	// var = 100·0.9/0.01 = 9000 from the π=0.1 term only.
+	if !almost(r.Stderr, math.Sqrt(9000)) {
+		t.Fatalf("stderr %v, want %v", r.Stderr, math.Sqrt(9000))
+	}
+}
+
+func TestDegenerateProbabilitiesClamp(t *testing.T) {
+	var a Accumulator
+	a.Add(5, 0)          // non-positive → treated as certain
+	a.Add(5, -2)         // negative → treated as certain
+	a.Add(5, 3)          // >1 → certain
+	a.Add(5, math.NaN()) // NaN fails p>0 → certain
+	r := a.Result()
+	if !almost(r.Estimate, 20) || r.Stderr != 0 {
+		t.Fatalf("degenerate π must clamp to 1: %+v", r)
+	}
+}
+
+func TestThresholdVarianceIdentity(t *testing.T) {
+	// For threshold sampling with y = w and π = min(1, w/τ), the per-item
+	// variance term w²(1−π)/π² must equal τ(τ−w) for w < τ.
+	const tau = 100.0
+	for _, w := range []float64{1, 10, 50, 99} {
+		var a Accumulator
+		a.Add(w, w/tau)
+		r := a.Result()
+		want := tau * (tau - w)
+		if !almost(r.Stderr*r.Stderr, want) {
+			t.Fatalf("w=%v: variance %v, want τ(τ−w)=%v", w, r.Stderr*r.Stderr, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var a Accumulator
+	a.Add(4, 0.5)
+	a.Reset()
+	if a.N() != 0 || a.Result() != (Result{}) {
+		t.Fatalf("reset must zero the accumulator: %+v", a.Result())
+	}
+}

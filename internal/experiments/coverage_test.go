@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// TestCoverageAudit is the acceptance check for the accuracy-observability
+// work: across the subset-sum, reservoir and priority families, the
+// nominal 95% confidence intervals must contain the true windowed sum in
+// at least 90% of windows. The run is fully seeded, so this is
+// deterministic, not a flaky statistical test.
+func TestCoverageAudit(t *testing.T) {
+	res, err := Coverage(QuickCoverage(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("families = %d, want 3", len(res))
+	}
+	for _, f := range res {
+		t.Logf("%s: coverage %d/%d (%.2f), mean rel err %.3f, mean CI width %.3f, mean ESS %.0f",
+			f.Family, f.Covered, f.Total, f.Coverage, f.MeanRelErr, f.MeanCIWidthRel, f.MeanESS)
+		if f.Total != 20 {
+			t.Errorf("%s: audited %d windows, want 20", f.Family, f.Total)
+		}
+		if f.Coverage < 0.9 {
+			t.Errorf("%s: CI coverage %.2f below the 0.90 floor", f.Family, f.Coverage)
+		}
+		if f.MeanRelErr > 0.15 {
+			t.Errorf("%s: mean relative error %.3f implausibly large", f.Family, f.MeanRelErr)
+		}
+		if f.MeanESS <= 0 {
+			t.Errorf("%s: mean ESS %.1f, want > 0", f.Family, f.MeanESS)
+		}
+		// A CI that swallows everything would make coverage vacuous: the
+		// mean interval width must stay well under the actual sum.
+		if f.MeanCIWidthRel <= 0 || f.MeanCIWidthRel > 1 {
+			t.Errorf("%s: mean relative CI width %.3f outside (0, 1]", f.Family, f.MeanCIWidthRel)
+		}
+	}
+}
+
+// TestCoverageDeterministic: same seed, same audit — byte for byte.
+func TestCoverageDeterministic(t *testing.T) {
+	cfg := QuickCoverage(7)
+	cfg.Windows = 6
+	a, err := Coverage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Coverage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Family != b[i].Family || a[i].Covered != b[i].Covered {
+			t.Fatalf("family %d differs between identical runs", i)
+		}
+		for w := range a[i].Windows {
+			if a[i].Windows[w] != b[i].Windows[w] {
+				t.Fatalf("%s window %d differs: %+v vs %+v",
+					a[i].Family, w, a[i].Windows[w], b[i].Windows[w])
+			}
+		}
+	}
+}

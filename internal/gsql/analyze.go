@@ -21,6 +21,11 @@ type Ctx struct {
 	Aggs      []agg.Agg
 	Supers    []agg.Super
 	States    []any
+	// Est holds the finalized estimator columns for the window being
+	// emitted, five values per ESTIMATE item in plan order (estimate,
+	// stderr, CI low, CI high, effective sample size). The operator fills
+	// it before evaluating SELECT expressions of an estimating plan.
+	Est []value.Value
 	// Trace, when non-nil, observes every stateful-function invocation
 	// evaluated under this context (function name, its state family, the
 	// result, the error if any). The operator sets it only while
@@ -61,6 +66,20 @@ type StateDef struct {
 	Type *sfun.StateType
 }
 
+// EstimateDef is one `ESTIMATE <expr> WITH ERROR` select item: the
+// operator evaluates Weight per emitted group, prices it with the
+// sampling state's inclusion probability, and folds it into a per-window
+// Horvitz–Thompson accumulator whose result feeds the item's five output
+// columns (Name, Name_stderr, Name_ci_lo, Name_ci_hi, Name_ess).
+type EstimateDef struct {
+	// Weight evaluates the estimated expression in group context.
+	Weight Compiled
+	// Display is the re-parseable form of the estimated expression.
+	Display string
+	// Name is the base output column name (alias or Display).
+	Name string
+}
+
 // Plan is an analyzed, compiled query, ready for the operator runtime.
 type Plan struct {
 	Query  *Query
@@ -96,6 +115,10 @@ type Plan struct {
 	Aggs   []AggDef
 	Supers []SuperDef
 	States []StateDef
+
+	// Estimates lists the plan's ESTIMATE … WITH ERROR items in select
+	// order; each expands to five consecutive SelectExprs reading Ctx.Est.
+	Estimates []EstimateDef
 
 	// Shards carries the query's SHARDS clause (0 = unspecified): a hint
 	// for how many parallel workers a low-level partial-aggregation node
@@ -195,6 +218,9 @@ func (b *binder) analyzeSelection(q *Query) (*Plan, error) {
 	}
 	selCtx := exprCtx{clause: "SELECT", tuple: true, sfuns: true}
 	for _, item := range q.Select {
+		if item.Estimate {
+			return nil, fmt.Errorf("gsql: ESTIMATE ... WITH ERROR requires GROUP BY")
+		}
 		c, err := b.compile(item.Expr, selCtx)
 		if err != nil {
 			return nil, err
@@ -287,11 +313,37 @@ func (b *binder) analyzeSampling(q *Query) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.SelectExprs = append(p.SelectExprs, c)
 		name := item.Alias
 		if name == "" {
 			name = item.Expr.String()
 		}
+		if item.Estimate {
+			// One ESTIMATE item expands to five output columns reading the
+			// window's finalized estimator slots from Ctx.Est: the HT
+			// estimate, its standard error, the 95% CI bounds and the
+			// effective sample size. The compiled expression becomes the
+			// estimator's weight evaluator, run per emitted group during
+			// the window flush.
+			estIdx := len(p.Estimates)
+			p.Estimates = append(p.Estimates, EstimateDef{
+				Weight:  c,
+				Display: item.Expr.String(),
+				Name:    name,
+			})
+			for k, suffix := range []string{"", "_stderr", "_ci_lo", "_ci_hi", "_ess"} {
+				slot := estIdx*5 + k
+				p.SelectExprs = append(p.SelectExprs, func(ctx *Ctx) (value.Value, error) {
+					if slot >= len(ctx.Est) {
+						return value.Value{}, fmt.Errorf("gsql: estimator column %d evaluated without estimator context", slot)
+					}
+					return ctx.Est[slot], nil
+				})
+				p.SelectNames = append(p.SelectNames, name+suffix)
+				p.SelectOrdered = append(p.SelectOrdered, false)
+			}
+			continue
+		}
+		p.SelectExprs = append(p.SelectExprs, c)
 		p.SelectNames = append(p.SelectNames, name)
 		ordered := false
 		if id, ok := item.Expr.(*Ident); ok {

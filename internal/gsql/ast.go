@@ -110,9 +110,13 @@ func (e *Call) String() string {
 }
 
 // SelectItem is one SELECT-clause expression with an optional alias.
+// Estimate marks an `ESTIMATE <expr> WITH ERROR` item: the operator emits
+// the expression's Horvitz–Thompson estimate plus error columns (stderr,
+// 95% CI bounds, effective sample size) instead of the raw value.
 type SelectItem struct {
-	Expr  Expr
-	Alias string
+	Expr     Expr
+	Alias    string
+	Estimate bool
 }
 
 // GroupItem is one GROUP BY expression with an optional alias
@@ -161,7 +165,13 @@ func (q *Query) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
+		if s.Estimate {
+			b.WriteString("ESTIMATE ")
+		}
 		b.WriteString(s.Expr.String())
+		if s.Estimate {
+			b.WriteString(" WITH ERROR")
+		}
 		if s.Alias != "" {
 			b.WriteString(" AS ")
 			b.WriteString(s.Alias)

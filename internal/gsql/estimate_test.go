@@ -1,0 +1,110 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+
+	"streamop/internal/value"
+)
+
+func TestParseEstimateRoundTrip(t *testing.T) {
+	src := "SELECT tb, ESTIMATE sum(len) WITH ERROR AS est FROM PKT GROUP BY time/1 as tb, uts"
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Select) != 2 || !q.Select[1].Estimate || q.Select[1].Alias != "est" {
+		t.Fatalf("unexpected select items: %+v", q.Select)
+	}
+	if q.Select[0].Estimate {
+		t.Fatalf("plain item wrongly marked as estimate")
+	}
+	printed := q.String()
+	if !strings.Contains(printed, "ESTIMATE sum(len) WITH ERROR AS est") {
+		t.Fatalf("print lost ESTIMATE form:\n%s", printed)
+	}
+	q2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of print failed: %v\n%s", err, printed)
+	}
+	if q2.String() != printed {
+		t.Fatalf("print not a fixpoint:\n%s\nvs\n%s", printed, q2.String())
+	}
+}
+
+func TestParseEstimateMalformed(t *testing.T) {
+	for _, src := range []string{
+		"SELECT ESTIMATE sum(len) FROM PKT GROUP BY tb",       // missing WITH ERROR
+		"SELECT ESTIMATE sum(len) WITH FROM PKT GROUP BY tb",  // truncated
+		"SELECT ESTIMATE sum(len) ERROR FROM PKT GROUP BY tb", // missing WITH
+		"SELECT ESTIMATE WITH ERROR FROM PKT GROUP BY tb",     // missing expression
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted malformed ESTIMATE", src)
+		}
+	}
+}
+
+func TestAnalyzeEstimateExpandsColumns(t *testing.T) {
+	p := analyzeQuery(t, `
+SELECT tb, ESTIMATE sum(len) WITH ERROR AS vol, count(*)
+FROM PKT GROUP BY time/1 as tb, srcIP, uts`)
+	if len(p.Estimates) != 1 {
+		t.Fatalf("Estimates: got %d, want 1", len(p.Estimates))
+	}
+	if p.Estimates[0].Name != "vol" || p.Estimates[0].Display != "sum(len)" {
+		t.Fatalf("EstimateDef: %+v", p.Estimates[0])
+	}
+	want := []string{"tb", "vol", "vol_stderr", "vol_ci_lo", "vol_ci_hi", "vol_ess", "count(*)"}
+	if len(p.SelectNames) != len(want) {
+		t.Fatalf("SelectNames: got %v, want %v", p.SelectNames, want)
+	}
+	for i, n := range want {
+		if p.SelectNames[i] != n {
+			t.Fatalf("SelectNames[%d]: got %q, want %q", i, p.SelectNames[i], n)
+		}
+	}
+	if len(p.SelectExprs) != len(want) || len(p.SelectOrdered) != len(want) {
+		t.Fatalf("SelectExprs/SelectOrdered length mismatch: %d/%d vs %d",
+			len(p.SelectExprs), len(p.SelectOrdered), len(want))
+	}
+	// The estimator columns read Ctx.Est slots verbatim.
+	ctx := &Ctx{Est: []value.Value{
+		value.NewFloat(10), value.NewFloat(2), value.NewFloat(6.08),
+		value.NewFloat(13.92), value.NewFloat(7),
+	}}
+	for i := 1; i <= 5; i++ {
+		v, err := p.SelectExprs[i](ctx)
+		if err != nil {
+			t.Fatalf("estimator column %d: %v", i, err)
+		}
+		if !value.Equal(v, ctx.Est[i-1]) {
+			t.Fatalf("estimator column %d: got %v, want %v", i, v, ctx.Est[i-1])
+		}
+	}
+	// Evaluating an estimator column with no estimator context must error,
+	// not panic or fabricate a value.
+	if _, err := p.SelectExprs[1](&Ctx{}); err == nil {
+		t.Fatalf("estimator column without Est context must error")
+	}
+}
+
+func TestAnalyzeEstimateRequiresGroupBy(t *testing.T) {
+	q, err := Parse("SELECT ESTIMATE len WITH ERROR FROM PKT")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := Analyze(q, testSchema(), testRegistry(t)); err == nil {
+		t.Fatalf("Analyze accepted ESTIMATE without GROUP BY")
+	}
+}
+
+func TestDescribeShowsEstimates(t *testing.T) {
+	p := analyzeQuery(t, `
+SELECT tb, ESTIMATE sum(len) WITH ERROR AS vol
+FROM PKT GROUP BY time/1 as tb, uts`)
+	d := p.Describe()
+	if !strings.Contains(d, "estimates:") || !strings.Contains(d, "vol{,_stderr,_ci_lo,_ci_hi,_ess}") {
+		t.Fatalf("Describe missing estimates section:\n%s", d)
+	}
+}

@@ -74,6 +74,13 @@ func (p *Plan) Describe() string {
 		fmt.Fprintf(&b, "  sfun states:     %s (per supergroup, handed off across windows)\n",
 			strings.Join(names, ", "))
 	}
+	if len(p.Estimates) > 0 {
+		names := make([]string, len(p.Estimates))
+		for i, e := range p.Estimates {
+			names[i] = fmt.Sprintf("%s -> %s{,_stderr,_ci_lo,_ci_hi,_ess}", e.Display, e.Name)
+		}
+		fmt.Fprintf(&b, "  estimates:       %s (Horvitz-Thompson, 95%% CI)\n", strings.Join(names, ", "))
+	}
 	if p.Shards > 0 {
 		fmt.Fprintf(&b, "  shards:          %d (parallel low-level partial-aggregation hint)\n", p.Shards)
 	}

@@ -17,6 +17,13 @@ func FuzzParse(f *testing.F) {
 		"SELECT f(a, *, 1) FROM S CLEANING WHEN TRUE CLEANING BY FALSE",
 		"select x from s supergroup by x",
 		"SELECT x FROM S -- comment\n",
+		"SELECT tb, ESTIMATE sum(len) WITH ERROR AS est FROM PKT GROUP BY time/1 as tb",
+		"SELECT ESTIMATE count(*) WITH ERROR FROM S GROUP BY t",
+		"select estimate sum(x) with error, estimate count(*) with error as c from s group by t",
+		"SELECT ESTIMATE sum(x) FROM S GROUP BY t",      // missing WITH ERROR
+		"SELECT ESTIMATE sum(x) WITH FROM S GROUP BY t", // truncated WITH ERROR
+		"SELECT ESTIMATE WITH ERROR FROM S GROUP BY t",  // missing expression
+		"SELECT ESTIMATE sum(x) WITH ERROR FROM S",      // no GROUP BY (analyzer error)
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -124,11 +124,24 @@ func (p *parser) parseQuery() (*Query, error) {
 		return nil, err
 	}
 	for {
+		// ESTIMATE <expr> WITH ERROR marks an estimator item: the operator
+		// emits the Horvitz–Thompson estimate of the expression plus its
+		// error columns. ESTIMATE is effectively reserved at the start of a
+		// select item.
+		estimate := p.acceptKeyword("estimate")
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		item := SelectItem{Expr: e}
+		if estimate {
+			if err := p.expectKeyword("with"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("error"); err != nil {
+				return nil, err
+			}
+		}
+		item := SelectItem{Expr: e, Estimate: estimate}
 		if p.acceptKeyword("as") {
 			t := p.advance()
 			if t.kind != tokIdent {

@@ -96,6 +96,11 @@ func (o *Operator) Snapshot(e *checkpoint.Encoder) error {
 			}
 		}
 	}
+
+	// Estimator history (empty for non-estimating plans): keeps the
+	// /debug/accuracy series and estimator gauges identical across a
+	// kill-and-resume.
+	o.snapshotEstimates(e)
 	return nil
 }
 
@@ -191,7 +196,10 @@ func (o *Operator) Restore(d *checkpoint.Decoder) error {
 		}
 		o.sgOld[sg.key.Hash()] = append(o.sgOld[sg.key.Hash()], sg)
 	}
-	return d.Err()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	return o.restoreEstimates(d)
 }
 
 func (o *Operator) decodeSupergroup(d *checkpoint.Decoder, full bool) (*supergroup, error) {

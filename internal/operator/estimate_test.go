@@ -1,0 +1,257 @@
+package operator_test
+
+import (
+	"math"
+	"testing"
+
+	"streamop/internal/checkpoint"
+	"streamop/internal/telemetry"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// estSSQuery is the paper's dynamic subset-sum query with the adjusted
+// weight replaced by an ESTIMATE column: the operator prices each kept
+// group's sum(len) with its inclusion probability min(1, w/z).
+const estSSQuery = `
+SELECT tb, srcIP, ESTIMATE sum(len) WITH ERROR AS vol
+FROM PKT
+WHERE ssample(len, 100, 2, 10) = TRUE
+GROUP BY time/10 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`
+
+// estCols indexes the estimator columns of estSSQuery's output rows.
+const (
+	estColBase   = 2 // vol
+	estColStderr = 3
+	estColCILo   = 4
+	estColCIHi   = 5
+	estColESS    = 6
+)
+
+func TestEstimateExactWhenUnsampled(t *testing.T) {
+	// No sampling states: every group is certainly included, so the
+	// estimate is the exact windowed total, stderr 0, a width-0 CI and
+	// ESS equal to the group count.
+	pkts := synthPackets(4000, 40, 20, 100, 3)
+	rows := run(t, `
+SELECT tb, srcIP, ESTIMATE sum(len) WITH ERROR AS vol
+FROM PKT GROUP BY time/10 as tb, srcIP`, pkts)
+	if len(rows) == 0 {
+		t.Fatal("no output rows")
+	}
+	byWindow := map[int64][]tuple.Tuple{}
+	for _, r := range rows {
+		if len(r) != 7 {
+			t.Fatalf("row has %d columns, want 7: %v", len(r), r)
+		}
+		byWindow[r[0].AsInt()] = append(byWindow[r[0].AsInt()], r)
+	}
+	for win, wr := range byWindow {
+		groups := float64(len(wr))
+		first := wr[0]
+		for _, r := range wr {
+			for c := estColBase; c <= estColESS; c++ {
+				if !value.Equal(r[c], first[c]) {
+					t.Fatalf("window %d: estimator columns differ between rows: %v vs %v", win, r, first)
+				}
+			}
+		}
+		if got := first[estColStderr].AsFloat(); got != 0 {
+			t.Errorf("window %d: unsampled stderr = %v, want 0", win, got)
+		}
+		if first[estColBase].AsFloat() != first[estColCILo].AsFloat() ||
+			first[estColBase].AsFloat() != first[estColCIHi].AsFloat() {
+			t.Errorf("window %d: unsampled CI not degenerate: %v", win, first)
+		}
+		if got := first[estColESS].AsFloat(); got != groups {
+			t.Errorf("window %d: ESS = %v, want group count %v", win, got, groups)
+		}
+		// The window total can only be checked against an expected value
+		// the operator itself doesn't compute: every packet is 100 bytes
+		// and nothing filters, so the exact estimate is 100 * packets in
+		// the window, which also equals the per-group sums added up.
+		var sum float64
+		for _, p := range pkts {
+			if int64(p.Time/1e9/10) == win {
+				sum += float64(p.Len)
+			}
+		}
+		if got := first[estColBase].AsFloat(); math.Abs(got-sum) > 1e-6 {
+			t.Errorf("window %d: estimate %v, want exact total %v", win, got, sum)
+		}
+	}
+}
+
+func TestEstimateSubsetSumWindowLevel(t *testing.T) {
+	pkts := synthPackets(30000, 60, 4000, 100, 11)
+	rows := run(t, estSSQuery, pkts)
+	if len(rows) == 0 {
+		t.Fatal("no output rows")
+	}
+	byWindow := map[int64][]tuple.Tuple{}
+	for _, r := range rows {
+		byWindow[r[0].AsInt()] = append(byWindow[r[0].AsInt()], r)
+	}
+	truth := map[int64]float64{}
+	for _, p := range pkts {
+		truth[int64(p.Time/1e9/10)] += float64(p.Len)
+	}
+	for win, wr := range byWindow {
+		first := wr[0]
+		for _, r := range wr {
+			for c := estColBase; c <= estColESS; c++ {
+				if !value.Equal(r[c], first[c]) {
+					t.Fatalf("window %d: estimator columns differ between rows", win)
+				}
+			}
+		}
+		est := first[estColBase].AsFloat()
+		stderr := first[estColStderr].AsFloat()
+		lo, hi := first[estColCILo].AsFloat(), first[estColCIHi].AsFloat()
+		ess := first[estColESS].AsFloat()
+		if est <= 0 || ess <= 0 || ess > float64(len(wr))+1e-9 {
+			t.Errorf("window %d: implausible estimate=%v ess=%v (rows %d)", win, est, ess, len(wr))
+		}
+		if lo > est || hi < est || math.Abs((est-lo)-(hi-est)) > 1e-6 {
+			t.Errorf("window %d: CI [%v,%v] not centered on %v", win, lo, hi, est)
+		}
+		if math.Abs(hi-est-1.96*stderr) > 1e-6 {
+			t.Errorf("window %d: CI half-width %v != 1.96*stderr %v", win, hi-est, 1.96*stderr)
+		}
+		// The HT estimate should land near the true windowed total; this
+		// is the loose operator-level check (the experiments package runs
+		// the rigorous CI-coverage audit).
+		if tv := truth[win]; tv > 0 && math.Abs(est-tv)/tv > 0.5 {
+			t.Errorf("window %d: estimate %v vs truth %v (relerr %.2f)", win, est, tv, math.Abs(est-tv)/tv)
+		}
+	}
+}
+
+// TestEstimateEmissionOrderMatchesPlain holds the deferred-emission path
+// to the exact row order and values of the inline path: stripping the
+// estimator columns from an estimating run must reproduce the plain run.
+func TestEstimateEmissionOrderMatchesPlain(t *testing.T) {
+	pkts := synthPackets(20000, 60, 2000, 100, 5)
+	est := run(t, estSSQuery, pkts)
+	plain := run(t, `
+SELECT tb, srcIP, sum(len) AS w
+FROM PKT
+WHERE ssample(len, 100, 2, 10) = TRUE
+GROUP BY time/10 as tb, srcIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE`, pkts)
+	if len(est) != len(plain) {
+		t.Fatalf("row counts differ: estimating %d vs plain %d", len(est), len(plain))
+	}
+	for i := range est {
+		for c := 0; c < 2; c++ { // tb, srcIP
+			if !value.Equal(est[i][c], plain[i][c]) {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, est[i][c], plain[i][c])
+			}
+		}
+	}
+}
+
+// TestEstimateCheckpointRoundTrip is the estimator half of kill-and-resume:
+// snapshot mid-stream, restore into a fresh operator, finish on both — the
+// estimator columns of every subsequent row, the accuracy history, and the
+// final LastEstimates must be bit-identical to the uninterrupted run.
+func TestEstimateCheckpointRoundTrip(t *testing.T) {
+	pkts := synthPackets(20000, 110, 2000, 100, 7)
+	cut := len(pkts) / 2
+
+	var ref []tuple.Tuple
+	opRef := compile(t, estSSQuery, 1, &ref)
+	feedPackets(t, opRef, pkts)
+	if err := opRef.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []tuple.Tuple
+	opA := compile(t, estSSQuery, 1, &got)
+	feedPackets(t, opA, pkts[:cut])
+	enc := checkpoint.NewEncoder()
+	if err := opA.Snapshot(enc); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	opB := compile(t, estSSQuery, 1, &got)
+	if err := opB.Restore(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	feedPackets(t, opB, pkts[cut:])
+	if err := opB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if idx, ok := rowsEqual(ref, got); !ok {
+		t.Fatalf("resumed output diverges at row %d (ref %d rows, got %d)", idx, len(ref), len(got))
+	}
+	lr, lg := opRef.LastEstimates(), opB.LastEstimates()
+	if len(lr) != 1 || len(lg) != 1 {
+		t.Fatalf("LastEstimates lengths: ref %d, resumed %d", len(lr), len(lg))
+	}
+	if lr[0] != lg[0] {
+		t.Fatalf("final estimator results differ:\nref     %+v\nresumed %+v", lr[0], lg[0])
+	}
+	// Both final snapshots — including the estimator history codec — must
+	// be byte-identical.
+	encRef, encB := checkpoint.NewEncoder(), checkpoint.NewEncoder()
+	if err := opRef.Snapshot(encRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := opB.Snapshot(encB); err != nil {
+		t.Fatal(err)
+	}
+	if string(encRef.Bytes()) != string(encB.Bytes()) {
+		t.Fatal("final snapshots differ between uninterrupted and resumed runs")
+	}
+}
+
+// TestAccuracySnapshotPublished exercises the boundary-published accuracy
+// snapshot: nil without a debug-active collector, populated with history
+// once windows flush under one.
+func TestAccuracySnapshotPublished(t *testing.T) {
+	pkts := synthPackets(8000, 40, 500, 100, 9)
+
+	var out []tuple.Tuple
+	op := compile(t, estSSQuery, 1, &out)
+	col := telemetry.New()
+	_ = col.Handler() // flips DebugActive
+	op.SetCollector(col, "q")
+	if st := op.AccuracySnapshot(); st == nil || st.At != "attach" {
+		t.Fatalf("attach snapshot: %+v", st)
+	}
+	feedPackets(t, op, pkts)
+	if err := op.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := op.AccuracySnapshot()
+	if st == nil || st.At != "window_flush" {
+		t.Fatalf("expected window_flush snapshot, got %+v", st)
+	}
+	if len(st.History) == 0 || len(st.Columns) != 1 {
+		t.Fatalf("snapshot missing history/columns: %+v", st)
+	}
+	if st.Columns[0].Column != "vol" || st.Columns[0].Estimate <= 0 {
+		t.Fatalf("bad last column: %+v", st.Columns[0])
+	}
+	last := st.History[len(st.History)-1]
+	if last.Columns[0] != st.Columns[0] {
+		t.Fatalf("Columns not the last history entry: %+v vs %+v", last.Columns[0], st.Columns[0])
+	}
+	// The estimator gauges appended one point per window per column.
+	snap := col.Snapshot()
+	for _, name := range []string{"streamop_estimator_stderr", "streamop_estimator_ess"} {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing from snapshot", name)
+		}
+		if len(m.Values) == 0 || len(m.Values[0].Points) == 0 {
+			t.Fatalf("metric %s has no series points: %+v", name, m)
+		}
+	}
+}

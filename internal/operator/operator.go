@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"streamop/internal/agg"
+	"streamop/internal/estimate"
 	"streamop/internal/gsql"
 	"streamop/internal/profile"
 	"streamop/internal/telemetry"
@@ -118,6 +119,15 @@ type Operator struct {
 	// Boundary-consistent debug snapshot (see debug.go), published at
 	// window flushes and cleaning phases when /debug/state is being served.
 	debug debugPublisher
+
+	// Estimation (see estimate.go). All nil/empty unless the plan carries
+	// ESTIMATE … WITH ERROR items; the non-estimating flush path never
+	// touches them.
+	estAccs    []estimate.Accumulator
+	estPending []estPending
+	estLast    []estimate.Result // finalized results of the last flush
+	estHist    []AccuracyWindow  // bounded ring for /debug/accuracy
+	accuracy   accuracyPublisher
 }
 
 // New creates an operator for plan, sending output rows to emit.
@@ -604,14 +614,28 @@ func (o *Operator) flushWindow() error {
 			}
 			if np != nil {
 				o.profHavingOut++
-				if gpt != 0 {
+				if gpt != 0 && len(o.plan.Estimates) == 0 {
 					np.Mark(profile.StageEmit)
 					o.lapClock = gpt
 				}
 			}
+			if len(o.plan.Estimates) > 0 {
+				// Deferred emission: the estimator columns need every
+				// supergroup's post-HAVING sampling state, so the group is
+				// buffered and emitted by finishEstimates below.
+				if err := o.estBuffer(sg, g); err != nil {
+					return err
+				}
+				continue
+			}
 			if err := o.output(&o.ctx); err != nil {
 				return err
 			}
+		}
+	}
+	if len(o.plan.Estimates) > 0 {
+		if err := o.finishEstimates(); err != nil {
+			return err
 		}
 	}
 	if o.om != nil {

@@ -29,6 +29,7 @@ type opMetrics struct {
 	cleanEvict                           *telemetry.Histogram
 	latency                              *telemetry.Histogram
 	sfunSeries                           *telemetry.SeriesVec
+	estStderr, estESS                    *telemetry.SeriesVec
 
 	synced Stats // counter values already pushed to the registry
 }
@@ -66,12 +67,18 @@ func (o *Operator) SetCollector(c *telemetry.Collector, name string) {
 		cleanEvict:     r.HistogramVec("streamop_cleaning_evictions", "groups evicted by one cleaning phase", cleanEvictBounds, "node").With(name),
 		latency:        r.HistogramVec("streamop_window_latency_seconds", "end-to-end window latency: first tuple of the window to flush complete", profile.LatencyBounds, "node").With(name),
 		sfunSeries:     r.SeriesVec("streamop_sfun_gauge", "per-window SFUN state gauges (first supergroup in insertion order)", 0, "node", "state", "gauge"),
+		estStderr:      r.SeriesVec("streamop_estimator_stderr", "per-window Horvitz-Thompson standard error of each ESTIMATE column", 0, "node", "column"),
+		estESS:         r.SeriesVec("streamop_estimator_ess", "per-window effective sample size (Kish) of each ESTIMATE column", 0, "node", "column"),
 	}
 	o.om.synced = Stats{}
 	o.syncCounters()
 	// Publish an initial snapshot so /debug/state never reads nil for an
-	// instrumented operator, even before the first boundary.
+	// instrumented operator, even before the first boundary; estimating
+	// plans publish /debug/accuracy under the same guarantee.
 	o.publishDebug("attach")
+	if o.Estimating() {
+		o.publishAccuracy("attach")
+	}
 }
 
 // syncCounters pushes the operator's plain counters into the registry as
@@ -112,6 +119,13 @@ func (o *Operator) recordWindow(base Stats) {
 	m.winSupergroups.Append(idx, float64(len(o.sgList)))
 	m.winCleanings.Append(idx, float64(cleanings))
 	m.winEvictions.Append(idx, float64(evicted))
+	// Estimator gauges: finishEstimates finalized estLast for this window
+	// just before recordWindow runs.
+	for i, r := range o.estLast {
+		col := o.plan.Estimates[i].Name
+		m.estStderr.With(o.telName, col).Append(idx, r.Stderr)
+		m.estESS.With(o.telName, col).Append(idx, r.ESS)
+	}
 	o.syncCounters()
 
 	// SFUN gauges: poll each state slot of the first supergroup (insertion

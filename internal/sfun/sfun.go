@@ -63,6 +63,19 @@ type Func struct {
 	Call func(state any, args []value.Value) (value.Value, error)
 }
 
+// Inclusion is implemented by sampling state blobs that can report the
+// inclusion probability of a record with weight w under their current
+// sampling decision — the π the Horvitz–Thompson estimator divides by.
+// It is polled at window flush, after WindowFinal, when the sample is
+// final for the closing window: subset-sum states report min(1, w/z)
+// against the final threshold, reservoirs report min(1, n/seen), priority
+// samples report min(1, w/τ). ok is false while the state cannot yet
+// price inclusions (unconfigured, or before any threshold exists); the
+// caller then treats the record as certainly included.
+type Inclusion interface {
+	Inclusion(w float64) (p float64, ok bool)
+}
+
 // Observable is implemented by state blobs that expose live gauges for
 // telemetry: the operator polls it at window flush, recording each emitted
 // (name, value) pair as a per-window series — the current subset-sum

@@ -67,6 +67,20 @@ func (s *psState) Gauges(emit func(string, float64)) {
 	emit("tau", s.tau)
 }
 
+// Inclusion implements sfun.Inclusion: in priority sampling a record of
+// weight w survives into the k-set with probability min(1, w/τ) against
+// the threshold τ (the (k+1)-st largest priority). τ = 0 means the k-set
+// never overflowed — every record is still present with certainty.
+func (s *psState) Inclusion(w float64) (float64, bool) {
+	if !s.configured {
+		return 0, false
+	}
+	if s.tau <= 0 || w >= s.tau {
+		return 1, true
+	}
+	return w / s.tau, true
+}
+
 func asPS(state any) (*psState, error) {
 	s, ok := state.(*psState)
 	if !ok {
@@ -91,8 +105,8 @@ func registerPriority(reg *sfun.Registry, seed uint64) error {
 			}
 			return s
 		},
-		Encode: encodePS,
-		Decode: decodePS,
+		Encode:       encodePS,
+		Decode:       decodePS,
 		EncodeShared: func(e *checkpoint.Encoder) { e.U64(instance.Load()) },
 		DecodeShared: func(d *checkpoint.Decoder) error {
 			instance.Store(d.U64())

@@ -48,6 +48,19 @@ func (s *rsState) Gauges(emit func(string, float64)) {
 	emit("records_seen", float64(s.seen))
 }
 
+// Inclusion implements sfun.Inclusion: uniform reservoir sampling keeps
+// each of the `seen` offered records with equal probability min(1, n/seen)
+// regardless of weight, so w is ignored.
+func (s *rsState) Inclusion(float64) (float64, bool) {
+	if !s.configured || s.seen <= 0 {
+		return 0, false
+	}
+	if s.seen <= int64(s.n) {
+		return 1, true
+	}
+	return float64(s.n) / float64(s.seen), true
+}
+
 // configure handles rsample(tag, n [, tolerance]).
 func (s *rsState) configure(args []value.Value) error {
 	n, err := intArg("rsample", args, 1)

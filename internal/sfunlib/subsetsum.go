@@ -42,6 +42,20 @@ func (s *ssState) Gauges(emit func(string, float64)) {
 	emit("cleanings_window", float64(s.cleanings))
 }
 
+// Inclusion implements sfun.Inclusion: under (relaxed) dynamic subset-sum
+// sampling a record of weight w is in the final sample with probability
+// min(1, w/z) against the window's final threshold. Before configuration
+// or while no threshold exists every admitted record is certain.
+func (s *ssState) Inclusion(w float64) (float64, bool) {
+	if !s.configured || s.z <= 0 {
+		return 0, false
+	}
+	if w >= s.z {
+		return 1, true
+	}
+	return w / s.z, true
+}
+
 // Configuration argument layout of ssample:
 //
 //	ssample(len, N [, theta [, relax [, z0]]])

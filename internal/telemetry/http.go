@@ -17,6 +17,7 @@ import (
 //	/debug/plan     per-node compiled plans (registered debug sources)
 //	/debug/state    boundary-consistent occupancy snapshots
 //	/debug/profile  live per-node cost attribution (when profiling is on)
+//	/debug/accuracy per-node estimator accuracy (ESTIMATE … WITH ERROR)
 //	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, ...)
 //
 // Building the handler flips DebugActive, which tells instrumented
@@ -44,6 +45,7 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("/debug/plan", debugJSON("plan"))
 	mux.HandleFunc("/debug/state", debugJSON("state"))
 	mux.HandleFunc("/debug/profile", debugJSON("profile"))
+	mux.HandleFunc("/debug/accuracy", debugJSON("accuracy"))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -54,7 +56,7 @@ func (c *Collector) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "streamop telemetry: /metrics (Prometheus text), /metrics.json (typed snapshot), /debug/plan, /debug/state, /debug/profile, /debug/pprof/")
+		fmt.Fprintln(w, "streamop telemetry: /metrics (Prometheus text), /metrics.json (typed snapshot), /debug/plan, /debug/state, /debug/profile, /debug/accuracy, /debug/pprof/")
 	})
 	return mux
 }
