@@ -28,6 +28,21 @@ type Agg interface {
 // Factory creates fresh aggregate instances for new groups.
 type Factory func() Agg
 
+// Resettable is an optional Agg extension: Reset restores the instance
+// to its fresh-from-Factory state, letting group arenas reuse aggregate
+// instances across recycled groups instead of reallocating. All builtin
+// aggregates implement it; UDAFs may opt in.
+type Resettable interface{ Reset() }
+
+func (a *sumAgg) Reset()   { *a = sumAgg{} }
+func (a *countAgg) Reset() { a.n = 0 }
+func (a *minAgg) Reset()   { *a = minAgg{} }
+func (a *maxAgg) Reset()   { *a = maxAgg{} }
+func (a *avgAgg) Reset()   { *a = avgAgg{} }
+func (a *firstAgg) Reset() { *a = firstAgg{} }
+func (a *lastAgg) Reset()  { *a = lastAgg{} }
+func (a *varAgg) Reset()   { *a = varAgg{stddev: a.stddev} }
+
 // New returns a factory for the named group aggregate; ok is false for
 // unknown names. Names are case-insensitive.
 func New(name string) (Factory, bool) {

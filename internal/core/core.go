@@ -86,6 +86,7 @@ type Query struct {
 	feed    trace.Feed
 	err     error
 	scratch tuple.Tuple
+	batch   *tuple.Batch // columnar input scratch for ProcessPackets
 
 	// Profiling (nil when off): the profiler, this query's node profile,
 	// and the exact packet-conversion count backing StageDequeue's rows.
@@ -174,6 +175,44 @@ func (q *Query) ProcessPacket(p trace.Packet) error {
 	return q.op.Process(q.scratch)
 }
 
+// ProcessPackets offers a slice of packets as columnar batches — the
+// query's hot path. It is row-for-row equivalent to calling ProcessPacket
+// on each packet (same rows, stats and errors; see operator.ProcessBatch
+// for the exactness contract) but converts packets column-major and runs
+// the operator's vectorized path. The query must read the PKT schema.
+func (q *Query) ProcessPackets(pkts []trace.Packet) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	if q.scratch == nil {
+		return fmt.Errorf("core: query does not read the PKT schema")
+	}
+	if q.np != nil {
+		// Profiled queries keep the per-packet path: the dequeue lap is
+		// sampled per tuple.
+		for _, p := range pkts {
+			if err := q.ProcessPacket(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if q.batch == nil {
+		q.batch = tuple.NewBatch(trace.Schema(), tuple.DefaultBatchRows)
+	}
+	for len(pkts) > 0 {
+		n := min(len(pkts), tuple.DefaultBatchRows)
+		q.batch.Reset()
+		trace.AppendBatch(q.batch, pkts[:n])
+		q.packets += int64(n)
+		if err := q.op.ProcessBatch(q.batch); err != nil {
+			return err
+		}
+		pkts = pkts[n:]
+	}
+	return nil
+}
+
 // RunFeed drains an entire packet feed through the query and flushes.
 func (q *Query) RunFeed(feed trace.Feed) error {
 	return q.RunContext(context.Background(), feed)
@@ -185,10 +224,16 @@ func (q *Query) RunFeed(feed trace.Feed) error {
 // A context.Background() run is identical to RunFeed.
 func (q *Query) RunContext(ctx context.Context, feed trace.Feed) error {
 	done := ctx.Done()
+	// Packets accumulate into batches for the columnar hot path; a
+	// cancelled run still feeds what it already pulled before flushing.
+	buf := make([]trace.Packet, 0, tuple.DefaultBatchRows)
 	for {
 		if done != nil {
 			select {
 			case <-done:
+				if err := q.ProcessPackets(buf); err != nil {
+					return err
+				}
 				if err := q.Flush(); err != nil {
 					return err
 				}
@@ -200,9 +245,16 @@ func (q *Query) RunContext(ctx context.Context, feed trace.Feed) error {
 		if !ok {
 			break
 		}
-		if err := q.ProcessPacket(p); err != nil {
-			return err
+		buf = append(buf, p)
+		if len(buf) == cap(buf) {
+			if err := q.ProcessPackets(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
 		}
+	}
+	if err := q.ProcessPackets(buf); err != nil {
+		return err
 	}
 	return q.Flush()
 }

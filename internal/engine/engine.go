@@ -75,6 +75,9 @@ type Node struct {
 	// prof is this node's cost profile; nil when profiling is off (see
 	// profile.go).
 	prof *profile.NodeProfile
+	// inBatch is the node's columnar input scratch (see batch.go), lazily
+	// created; owned by whichever single goroutine feeds the node.
+	inBatch *tuple.Batch
 	// Provenance tracing (see tracing.go). tr is nil when tracing is off;
 	// trEnq/trDeq count this node's queued input rows so traces can ride on
 	// FIFO position instead of tuple metadata.

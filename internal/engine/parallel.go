@@ -134,7 +134,11 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 			return cancelled
 		}
 		// Batched transfer into the selection rings (unpaced mode): one
-		// tail publication per slice instead of per packet.
+		// tail publication per slice instead of per packet. Shard routing
+		// rides the same batches — routeBatch evaluates the router's GROUP
+		// BY columnar over the whole slice — which is safe to defer because
+		// the window barrier inside routing orders only the shard rings,
+		// never the selection rings.
 		lowBatch := make([]trace.Packet, 0, shardBatch)
 		flushLow := func() {
 			for _, r := range rings {
@@ -145,6 +149,15 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 					if len(buf) > 0 {
 						runtime.Gosched()
 					}
+				}
+			}
+			for _, s := range sets {
+				if s.routeFailed {
+					continue
+				}
+				if err := s.routeBatch(lowBatch, scratch); err != nil {
+					reportErr(err)
+					s.routeFailed = true
 				}
 			}
 			lowBatch = lowBatch[:0]
@@ -179,7 +192,10 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 					flushLow()
 				}
 			}
-			if len(sets) > 0 {
+			if speedup > 0 && len(sets) > 0 {
+				// Paced packets must not sit in routing buffers (pacing
+				// simulates arrival times), so route them one by one; the
+				// unpaced path routes whole batches from flushLow.
 				p.AppendTuple(scratch)
 				for _, s := range sets {
 					if s.routeFailed {
@@ -266,6 +282,9 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 					time.Sleep(d)
 				}
 				err := e.guardNode(low, func() error {
+					if low.prof == nil {
+						return e.processLowColumnarParallel(low, batch[:n], chans)
+					}
 					start := time.Now()
 					for j := 0; j < n; j++ {
 						if st := low.prof.BeginSrc(); st != 0 {

@@ -59,6 +59,9 @@ type ptable struct {
 	prof       *profile.NodeProfile
 	winStartNS int64
 	tuples     int64
+
+	// vec is the lazily built vectorized fold state (see batch.go).
+	vec *ptableVec
 }
 
 func newPtable(name string, plan *gsql.Plan, slots int, mask uint64, div uint64, emit func(tuple.Tuple) error) ptable {
@@ -367,6 +370,13 @@ func (e *Engine) runPartialBatch(pkts []trace.Packet, count int, scratch tuple.T
 		}
 		if err := e.guardNode(&n.Node, func() error {
 			start := time.Now()
+			if n.table.prof == nil {
+				// No per-tuple lap accounting: fold the batch columnar.
+				n.tuplesIn += int64(count)
+				err := n.table.processPackets(pkts[:count])
+				n.busy += time.Since(start)
+				return err
+			}
 			np := n.table.prof
 			for i := 0; i < count; i++ {
 				if st := np.BeginSrc(); st != 0 {

@@ -181,19 +181,29 @@ func (w *shardWorker) run(producerDone <-chan struct{}, reportErr func(error)) {
 			continue
 		}
 		start := time.Now()
-		for i := 0; i < n; i++ {
-			if st := w.table.prof.BeginSrc(); st != 0 {
-				batch[i].AppendTuple(scratch)
-				w.table.prof.LapMark(profile.StageDequeue, st)
-			} else {
-				batch[i].AppendTuple(scratch)
-			}
-			w.tuplesIn++
-			if err := safeCall(func() error { return w.table.process(scratch) }); err != nil {
+		if w.table.prof == nil {
+			// No per-tuple lap accounting: fold the batch columnar.
+			w.tuplesIn += int64(n)
+			if err := safeCall(func() error { return w.table.processPackets(batch[:n]) }); err != nil {
 				w.busy += time.Since(start)
 				w.fail(reportErr, err)
 				w.folded.Add(uint64(n))
-				break
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if st := w.table.prof.BeginSrc(); st != 0 {
+					batch[i].AppendTuple(scratch)
+					w.table.prof.LapMark(profile.StageDequeue, st)
+				} else {
+					batch[i].AppendTuple(scratch)
+				}
+				w.tuplesIn++
+				if err := safeCall(func() error { return w.table.process(scratch) }); err != nil {
+					w.busy += time.Since(start)
+					w.fail(reportErr, err)
+					w.folded.Add(uint64(n))
+					break
+				}
 			}
 		}
 		if !w.failed {
@@ -278,6 +288,9 @@ type shardSet struct {
 	// routeFailed marks a set whose router hit an evaluation error; the
 	// producer stops routing to it (the error is already reported).
 	routeFailed bool
+
+	// rvec is the lazily built vectorized router state (see batch.go).
+	rvec *routerVec
 
 	flushEpoch atomic.Uint64
 	remaining  atomic.Int32

@@ -54,6 +54,44 @@ func (n *Node) attachTracer(tr *tracing.Tracer) {
 // match costs nothing on the hundreds of untraced packets sharing its
 // batch.
 func (e *Engine) processLowBatch(low *Node, pkts []trace.Packet, n int, scratch tuple.Tuple, matches []tracing.SourceMatch) error {
+	if low.prof == nil {
+		// No per-row profiling: untraced segments between matches run
+		// columnar; only a matched packet itself is processed row-at-a-time
+		// with the tracer's current context set. The operator's trace
+		// record sites iterate the tracer's current set — empty for every
+		// packet in a columnar segment, exactly as it is for untraced
+		// packets in the scalar walk — so a 1-in-N tracer costs the batch
+		// path nothing but the segment split. A batch with no matches
+		// (tracing off, or none of its packets sampled) is one segment.
+		i := 0
+		for mi := 0; mi <= len(matches); mi++ {
+			end := n
+			if mi < len(matches) {
+				end = matches[mi].Idx
+			}
+			if i < end {
+				if err := e.processLowColumnar(low, pkts[i:end]); err != nil {
+					return err
+				}
+				i = end
+			}
+			if mi < len(matches) && i < n {
+				start := time.Now()
+				e.tr.SetCurrentOne(matches[mi].TT)
+				pkts[i].AppendTuple(scratch)
+				low.tuplesIn++
+				err := low.op.Process(scratch)
+				e.tr.ClearCurrent()
+				low.busy += time.Since(start)
+				if err != nil {
+					return fmt.Errorf("engine: node %q: %w", low.name, err)
+				}
+				i++
+			}
+		}
+		low.syncTelemetry(0)
+		return nil
+	}
 	start := time.Now()
 	i := 0
 	for mi := 0; mi <= len(matches); mi++ {

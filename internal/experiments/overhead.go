@@ -10,7 +10,12 @@ import (
 
 // Overhead measures the genericity cost of the sampling operator: dynamic
 // subset-sum sampling expressed as a query versus the hand-coded
-// subsetsum.Dynamic, over the same steady feed.
+// subsetsum.Dynamic, over the same steady feed. The operator side runs the
+// columnar batch path — its deployed hot path (the engine and RunFeed both
+// batch). Both sides run interleaved passes with the minimum kept (same
+// transient-load damping as the bench_test.go overhead guards: a single
+// pass of the hand-coded loop is under a millisecond, where one scheduler
+// hiccup would swing the factor severalfold).
 func Overhead(seed uint64, duration float64, n int) (OverheadResult, error) {
 	var res OverheadResult
 
@@ -24,44 +29,67 @@ func Overhead(seed uint64, duration float64, n int) (OverheadResult, error) {
 	res.Packets = int64(len(pkts))
 
 	// Hand-coded implementation, 2-second windows.
-	d, err := subsetsum.NewDynamic[uint64](subsetsum.Config{
-		TargetSize: n, InitialZ: 1, Theta: 2, RelaxFactor: 10,
-	})
-	if err != nil {
-		return res, err
-	}
-	start := time.Now()
-	var directEst float64
-	prevWindow := uint64(0)
-	for _, p := range pkts {
-		if w := p.Time / 1e9 / 2; w != prevWindow {
-			directEst += subsetsum.Estimate(d.EndWindow())
-			prevWindow = w
+	directPass := func() (float64, float64, error) {
+		d, err := subsetsum.NewDynamic[uint64](subsetsum.Config{
+			TargetSize: n, InitialZ: 1, Theta: 2, RelaxFactor: 10,
+		})
+		if err != nil {
+			return 0, 0, err
 		}
-		d.Offer(float64(p.Len), p.Time)
+		start := time.Now()
+		var est float64
+		prevWindow := uint64(0)
+		for _, p := range pkts {
+			if w := p.Time / 1e9 / 2; w != prevWindow {
+				est += subsetsum.Estimate(d.EndWindow())
+				prevWindow = w
+			}
+			d.Offer(float64(p.Len), p.Time)
+		}
+		est += subsetsum.Estimate(d.EndWindow())
+		return float64(time.Since(start).Nanoseconds()), est, nil
 	}
-	directEst += subsetsum.Estimate(d.EndWindow())
-	directNS := float64(time.Since(start).Nanoseconds())
 
-	// Operator-expressed query (same window length of 2s).
-	q, err := core.Compile(subsetSumQuery(2, n, 2, 10), core.Options{Seed: seed})
-	if err != nil {
-		return res, err
+	// Operator-expressed query (same window length of 2s), fed as columnar
+	// batches. ProcessPackets chunks internally.
+	opPass := func() (float64, float64, error) {
+		q, err := core.Compile(subsetSumQuery(2, n, 2, 10), core.Options{Seed: seed})
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := q.ProcessPackets(pkts); err != nil {
+			return 0, 0, err
+		}
+		if err := q.Flush(); err != nil {
+			return 0, 0, err
+		}
+		elapsed := float64(time.Since(start).Nanoseconds())
+		var est float64
+		for _, row := range q.Collected {
+			est += row.Values[4].AsFloat()
+		}
+		return elapsed, est, nil
 	}
-	start = time.Now()
-	for _, p := range pkts {
-		if err := q.ProcessPacket(p); err != nil {
+
+	const passes = 5
+	var directNS, opNS, directEst, opEst float64
+	for i := 0; i < passes; i++ {
+		dns, dest, err := directPass()
+		if err != nil {
 			return res, err
 		}
-	}
-	if err := q.Flush(); err != nil {
-		return res, err
-	}
-	opNS := float64(time.Since(start).Nanoseconds())
-
-	var opEst float64
-	for _, row := range q.Collected {
-		opEst += row.Values[4].AsFloat()
+		ons, oest, err := opPass()
+		if err != nil {
+			return res, err
+		}
+		if i == 0 || dns < directNS {
+			directNS = dns
+		}
+		if i == 0 || ons < opNS {
+			opNS = ons
+		}
+		directEst, opEst = dest, oest // deterministic across passes
 	}
 
 	res.OperatorNSPerPacket = opNS / float64(len(pkts))

@@ -43,6 +43,9 @@ type AggDef struct {
 	Name string
 	// Arg evaluates the argument in tuple context; nil for count(*).
 	Arg Compiled
+	// ArgExpr is the argument's AST (nil for count(*)), kept so Vectorize
+	// can recompile it as a column kernel.
+	ArgExpr Expr
 	// New creates instances for new groups.
 	New agg.Factory
 	// Display is the re-parseable form, used for output column naming.
@@ -54,6 +57,9 @@ type SuperDef struct {
 	Spec *agg.SuperSpec
 	// Arg evaluates the first argument in tuple context; nil for (*).
 	Arg Compiled
+	// ArgExpr is the first argument's AST (nil for (*)), kept so Vectorize
+	// can recompile it as a column kernel.
+	ArgExpr Expr
 	// Consts are the trailing literal arguments (e.g. k).
 	Consts []value.Value
 	// Display is the re-parseable form.
@@ -363,12 +369,18 @@ func (b *binder) analyzeSampling(q *Query) (*Plan, error) {
 // groupVarIndex resolves a name to a group-by item: by alias, or by the
 // item being a bare column reference with that name.
 func (b *binder) groupVarIndex(name string) (int, bool) {
-	for i, item := range b.plan.Query.GroupBy {
+	return groupVarIndex(b.plan.Query, name)
+}
+
+// groupVarIndex is the resolution rule shared by the scalar compiler and
+// the vectorizer, which must bind names identically.
+func groupVarIndex(q *Query, name string) (int, bool) {
+	for i, item := range q.GroupBy {
 		if item.Alias != "" && strings.EqualFold(item.Alias, name) {
 			return i, true
 		}
 	}
-	for i, item := range b.plan.Query.GroupBy {
+	for i, item := range q.GroupBy {
 		if id, ok := item.Expr.(*Ident); ok && item.Alias == "" && strings.EqualFold(id.Name, name) {
 			return i, true
 		}
@@ -585,6 +597,7 @@ func (b *binder) compileUDAF(e *Call, udaf *sfun.AggFunc, ctx exprCtx) (Compiled
 	def := AggDef{
 		Name:    strings.ToLower(e.Name),
 		Arg:     arg,
+		ArgExpr: e.Args[0],
 		Display: display,
 		New: func() agg.Agg {
 			a, err := newFn(consts)
@@ -631,6 +644,7 @@ func (b *binder) compileAgg(e *Call, ctx exprCtx) (Compiled, error) {
 				return nil, err
 			}
 			def.Arg = arg
+			def.ArgExpr = e.Args[0]
 		}
 	case len(e.Args) == 0 && def.Name == "count":
 		// count() treated as count(*).
@@ -680,6 +694,7 @@ func (b *binder) compileSuper(e *Call, ctx exprCtx) (Compiled, error) {
 			return nil, err
 		}
 		def.Arg = arg
+		def.ArgExpr = first
 	}
 	for _, a := range rest {
 		lit, ok := a.(*Lit)

@@ -174,10 +174,13 @@ func (o *Operator) Restore(d *checkpoint.Decoder) error {
 		return d.Err()
 	}
 
-	o.groups = make(map[uint64][]*group)
+	o.groups.clear()
 	o.sgNew = make(map[uint64][]*supergroup)
 	o.sgOld = make(map[uint64][]*supergroup)
 	o.sgList = o.sgList[:0]
+	if o.vec != nil {
+		o.vec.curSG = nil // restored supergroups invalidate the batch cache
+	}
 
 	nSG := d.Len()
 	for i := 0; i < nSG && d.Err() == nil; i++ {
@@ -243,7 +246,7 @@ func (o *Operator) decodeSupergroup(d *checkpoint.Decoder, full bool) (*supergro
 		if g.contribs == nil && len(o.plan.Supers) > 0 {
 			g.contribs = make([]value.Value, len(o.plan.Supers))
 		}
-		o.groups[key.Hash()] = append(o.groups[key.Hash()], g)
+		o.groups.insert(key.Hash(), g)
 		sg.groups = append(sg.groups, g)
 	}
 	return sg, d.Err()

@@ -30,12 +30,15 @@ import (
 // estHistoryCap bounds the per-operator accuracy history ring.
 const estHistoryCap = 64
 
-// estPending is one HAVING-passing group awaiting deferred emission, with
-// its estimate weights captured during the pass.
+// estPending is one HAVING-passing group awaiting deferred emission. Its
+// estimate weights, captured during the pass, live at wOff in the
+// operator's window-scoped flat pool (o.estWeights) — an offset rather
+// than a slice, because the pool's backing array may move as later groups
+// append to it.
 type estPending struct {
-	sg *supergroup
-	g  *group
-	w  []float64
+	sg   *supergroup
+	g    *group
+	wOff int
 }
 
 // AccuracyColumn is one ESTIMATE column's finalized estimator output for
@@ -84,16 +87,17 @@ func (o *Operator) AccuracySnapshot() *AccuracyState {
 // estBuffer evaluates the estimate weights of the current HAVING-passing
 // group under o.ctx and defers its emission. Called from the flush pass.
 func (o *Operator) estBuffer(sg *supergroup, g *group) error {
-	w := make([]float64, len(o.plan.Estimates))
+	off := len(o.estWeights)
 	for i := range o.plan.Estimates {
 		def := &o.plan.Estimates[i]
 		v, err := def.Weight(&o.ctx)
 		if err != nil {
+			o.estWeights = o.estWeights[:off]
 			return fmt.Errorf("operator: ESTIMATE %s: %w", def.Display, err)
 		}
-		w[i] = v.AsFloat()
+		o.estWeights = append(o.estWeights, v.AsFloat())
 	}
-	o.estPending = append(o.estPending, estPending{sg: sg, g: g, w: w})
+	o.estPending = append(o.estPending, estPending{sg: sg, g: g, wOff: off})
 	return nil
 }
 
@@ -126,8 +130,9 @@ func (o *Operator) finishEstimates() error {
 		o.estAccs[i].Reset()
 	}
 	for _, p := range o.estPending {
+		w := o.estWeights[p.wOff : p.wOff+nEst]
 		for i := range o.estAccs {
-			o.estAccs[i].Add(p.w[i], inclusionOf(p.sg.states, p.w[i]))
+			o.estAccs[i].Add(w[i], inclusionOf(p.sg.states, w[i]))
 		}
 	}
 
@@ -174,6 +179,7 @@ func (o *Operator) finishEstimates() error {
 		o.estPending[i] = estPending{}
 	}
 	o.estPending = o.estPending[:0]
+	o.estWeights = o.estWeights[:0]
 
 	if o.tel.DebugActive() {
 		o.publishAccuracy("window_flush")

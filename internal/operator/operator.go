@@ -72,13 +72,19 @@ type Operator struct {
 	plan *gsql.Plan
 	emit Emit
 
-	// Group table: hash → chain.
-	groups map[uint64][]*group
+	// Group table (open addressing; see grouptable.go) and the arena of
+	// recycled group structs it allocates from.
+	groups     groupTable
+	freeGroups []*group
 	// New and old supergroup tables, plus insertion order for
 	// deterministic flushing.
 	sgNew  map[uint64][]*supergroup
 	sgOld  map[uint64][]*supergroup
 	sgList []*supergroup
+
+	// Vectorized batch execution state (see batch.go); built lazily on
+	// the first ProcessBatch.
+	vec *vecState
 
 	// Selection mode: a single global state vector, no grouping.
 	selStates []any
@@ -125,6 +131,7 @@ type Operator struct {
 	// touches them.
 	estAccs    []estimate.Accumulator
 	estPending []estPending
+	estWeights []float64         // window-scoped flat pool backing estPending weights
 	estLast    []estimate.Result // finalized results of the last flush
 	estHist    []AccuracyWindow  // bounded ring for /debug/accuracy
 	accuracy   accuracyPublisher
@@ -141,7 +148,6 @@ func New(plan *gsql.Plan, emit Emit) (*Operator, error) {
 	o := &Operator{
 		plan:    plan,
 		emit:    emit,
-		groups:  make(map[uint64][]*group),
 		sgNew:   make(map[uint64][]*supergroup),
 		sgOld:   make(map[uint64][]*supergroup),
 		gbVals:  make([]value.Value, len(plan.GroupBy)),
@@ -403,7 +409,12 @@ func (o *Operator) supergroupVals() []value.Value {
 }
 
 func (o *Operator) findOrCreateSupergroup() *supergroup {
-	vals := o.supergroupVals()
+	return o.supergroupFor(o.supergroupVals())
+}
+
+// supergroupFor looks up or creates the supergroup keyed by vals, with
+// state handoff from the previous window's supergroup of the same key.
+func (o *Operator) supergroupFor(vals []value.Value) *supergroup {
 	h := tuple.HashValues(vals)
 	for _, sg := range o.sgNew[h] {
 		if sg.key.EqualValues(vals) {
@@ -448,27 +459,69 @@ func (o *Operator) findOrCreateSupergroup() *supergroup {
 
 func (o *Operator) findOrCreateGroup(sg *supergroup) (*group, bool) {
 	h := tuple.HashValues(o.gbVals)
-	for _, g := range o.groups[h] {
-		if g.key.EqualValues(o.gbVals) {
-			return g, false
-		}
+	if g := o.groups.lookupVals(h, o.gbVals); g != nil {
+		return g, false
 	}
-	key := tuple.MakeKey(o.gbVals)
-	g := &group{
-		key:  key,
-		vals: key.Values(),
-		aggs: make([]agg.Agg, len(o.plan.Aggs)),
+	return o.createGroup(sg, h), true
+}
+
+// createGroup builds a group for the key currently in o.gbVals (hash h),
+// reusing an arena group when one is free, and registers it in the group
+// table and sg's supergroup-group table. Recycled groups keep their
+// backing arrays: the key values are appended into the old vals storage
+// and re-keyed without copying or rehashing (tuple.OwnKeyHash), and
+// Resettable aggregate instances are reset in place, so a steady-state
+// window allocates nothing for churned groups.
+func (o *Operator) createGroup(sg *supergroup, h uint64) *group {
+	var g *group
+	if n := len(o.freeGroups); n > 0 {
+		g = o.freeGroups[n-1]
+		o.freeGroups[n-1] = nil
+		o.freeGroups = o.freeGroups[:n-1]
+	} else {
+		g = &group{}
+	}
+	g.vals = append(g.vals[:0], o.gbVals...)
+	g.key = tuple.OwnKeyHash(g.vals, h)
+	if cap(g.aggs) >= len(o.plan.Aggs) {
+		g.aggs = g.aggs[:len(o.plan.Aggs)]
+	} else {
+		g.aggs = make([]agg.Agg, len(o.plan.Aggs))
 	}
 	for i, def := range o.plan.Aggs {
+		// A recycled group's slot i holds def i's type (the arena is
+		// per-operator); resetting it in place skips the allocation.
+		if a := g.aggs[i]; a != nil {
+			if r, ok := a.(agg.Resettable); ok {
+				r.Reset()
+				continue
+			}
+		}
 		g.aggs[i] = def.New()
 	}
 	if n := len(o.plan.Supers); n > 0 {
-		g.contribs = make([]value.Value, n)
+		if cap(g.contribs) >= n {
+			g.contribs = g.contribs[:n]
+			for i := range g.contribs {
+				g.contribs[i] = value.Value{}
+			}
+		} else {
+			g.contribs = make([]value.Value, n)
+		}
+	} else {
+		g.contribs = nil
 	}
-	o.groups[key.Hash()] = append(o.groups[key.Hash()], g)
+	o.groups.insert(h, g)
 	sg.groups = append(sg.groups, g)
 	o.stats.GroupsCreated++
-	return g, true
+	return g
+}
+
+// recycleGroup returns g to the arena. Callers guarantee no table, list
+// or pending-emission structure still references it.
+func (o *Operator) recycleGroup(g *group) {
+	g.traces = nil
+	o.freeGroups = append(o.freeGroups, g)
 }
 
 // cleanSupergroup runs the CLEANING BY predicate over every group of sg,
@@ -500,11 +553,24 @@ func (o *Operator) cleanSupergroup(sg *supergroup) error {
 		o.ctx.Tuple, o.ctx.Aggs, o.ctx.GroupVals = saveTuple, saveAggs, saveGroupVals
 	}()
 	o.ctx.Tuple = nil
+	// Per-group fast path: when the clause matched the sfun(agg-refs...)
+	// shape and no per-tuple instrumentation is attached, skip the scalar
+	// closure tree (same calls, same state mutations, same results).
+	var fast *gsql.GroupCall
+	if o.tr == nil && o.prof == nil && o.vec != nil && o.vec.vp != nil {
+		fast = o.vec.vp.CleanByCall
+	}
 	kept := sg.groups[:0]
 	for _, g := range sg.groups {
 		o.ctx.GroupVals = g.vals
 		o.ctx.Aggs = g.aggs
-		v, err := o.plan.CleaningBy(&o.ctx)
+		var v value.Value
+		var err error
+		if fast != nil {
+			v, err = fast.CallGroup(sg.states, g.aggs)
+		} else {
+			v, err = o.plan.CleaningBy(&o.ctx)
+		}
 		if err != nil {
 			return fmt.Errorf("operator: CLEANING BY: %w", err)
 		}
@@ -524,20 +590,7 @@ func (o *Operator) cleanSupergroup(sg *supergroup) error {
 // evictGroup removes g from the group table and subtracts its
 // superaggregate contributions. (The caller maintains sg.groups.)
 func (o *Operator) evictGroup(sg *supergroup, g *group) {
-	h := g.key.Hash()
-	chain := o.groups[h]
-	for i, cand := range chain {
-		if cand == g {
-			chain[i] = chain[len(chain)-1]
-			chain = chain[:len(chain)-1]
-			if len(chain) == 0 {
-				delete(o.groups, h)
-			} else {
-				o.groups[h] = chain
-			}
-			break
-		}
-	}
+	o.groups.remove(g.key.Hash(), g)
 	for i := range sg.supers {
 		var contrib value.Value
 		if g.contribs != nil {
@@ -549,6 +602,7 @@ func (o *Operator) evictGroup(sg *supergroup, g *group) {
 		o.traceEviction(sg, g)
 	}
 	o.stats.GroupsEvicted++
+	o.recycleGroup(g)
 }
 
 // flushWindow closes the open window: signals WindowFinal to all states,
@@ -655,11 +709,15 @@ func (o *Operator) flushWindow() error {
 		rt = profile.Now()
 	}
 	// Rotate: current supergroups become the "old" table for state
-	// handoff; group tables clear.
-	o.groups = make(map[uint64][]*group)
+	// handoff; the group table clears (keeping its storage) and the
+	// window's groups return to the arena.
+	o.groups.clear()
 	o.sgOld = o.sgNew
 	o.sgNew = make(map[uint64][]*supergroup)
 	for _, sg := range o.sgList {
+		for _, g := range sg.groups {
+			o.recycleGroup(g)
+		}
 		sg.groups = nil // drop group references; states survive in sgOld
 	}
 	o.sgList = o.sgList[:0]

@@ -76,6 +76,50 @@ func (p Packet) AppendTuple(dst tuple.Tuple) {
 	dst[FieldUTS] = value.NewUint(p.Time)
 }
 
+// AppendBatch appends pkts to b column-major: one tight loop per PKT
+// field, writing raw payload words with no per-value kind dispatch. It
+// produces exactly the rows AppendTuple would, in columnar form — the
+// batch-path producer for the ring → operator pipeline.
+func AppendBatch(b *tuple.Batch, pkts []Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	n := len(pkts)
+	w := b.Col(FieldTime).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = pkts[i].Time / 1e9
+	}
+	w = b.Col(FieldSrcIP).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = uint64(pkts[i].SrcIP)
+	}
+	w = b.Col(FieldDstIP).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = uint64(pkts[i].DstIP)
+	}
+	w = b.Col(FieldSrcPort).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = uint64(pkts[i].SrcPort)
+	}
+	w = b.Col(FieldDstPort).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = uint64(pkts[i].DstPort)
+	}
+	w = b.Col(FieldProto).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = uint64(pkts[i].Proto)
+	}
+	w = b.Col(FieldLen).Extend(value.Int, n)
+	for i := range pkts {
+		w[i] = uint64(int64(pkts[i].Len))
+	}
+	w = b.Col(FieldUTS).Extend(value.Uint, n)
+	for i := range pkts {
+		w[i] = pkts[i].Time
+	}
+	b.AddRows(n)
+}
+
 // Tuple converts p to a freshly allocated tuple.
 func (p Packet) Tuple() tuple.Tuple {
 	t := make(tuple.Tuple, NumFields)

@@ -181,6 +181,26 @@ func (v Value) AsUint() uint64 {
 // makes predicate evaluation total without panicking on NULL.
 func (v Value) Truth() bool { return v.kind == Bool && v.bits != 0 }
 
+// Bits returns the value's raw 64-bit payload: the two's-complement bits
+// for Int, the magnitude for Uint, the IEEE-754 bits for Float and 0/1
+// for Bool. String and Null payloads are not representable as bits (the
+// result is 0); columnar storage keeps those out of band. This is the
+// escape hatch the batch layer (internal/tuple.Batch) uses to store
+// column vectors as raw words instead of boxed Values.
+func (v Value) Bits() uint64 { return v.bits }
+
+// FromBits reconstructs a numeric or Bool value from its Bits payload.
+// It is the inverse of Bits for the numeric kinds; FromBits(String, _)
+// and FromBits(Null, _) return the Null value, since their payloads do
+// not fit in 64 bits.
+func FromBits(k Kind, bits uint64) Value {
+	switch k {
+	case Bool, Int, Uint, Float:
+		return Value{kind: k, bits: bits}
+	}
+	return Value{}
+}
+
 // String renders the value for output rows and diagnostics.
 func (v Value) String() string {
 	switch v.kind {

@@ -54,6 +54,40 @@ require_nonempty() {
 }
 require_nonempty "$out"
 
+# Hot-loop pass: the batch-path micro-benchmarks (operator throughput and
+# the batch-vs-scalar WHERE comparison) are meaningless at one iteration —
+# a single pass is dominated by first-touch setup. Rerun them at a fixed
+# iteration count and replace their entries in BENCH_core.json, so the
+# committed ns/op figures are steady-state hot-loop numbers.
+hot_benchtime="200000x"
+hraw="$(mktemp)"
+hjson="$(mktemp)"
+trap 'rm -f "$raw" "$hraw" "$hjson"' EXIT
+
+go test -run='^$' -bench='^(BenchmarkOperatorThroughput|BenchmarkBatchVsScalarWhere)$' \
+    -benchtime="$hot_benchtime" . ./internal/operator/ | tee "$hraw"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s", name, $2
+    for (i = 3; i + 1 <= NF; i += 2)
+        printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
+}
+END { print "\n]" }
+' "$hraw" > "$hjson"
+require_nonempty "$hjson"
+
+jq -s '.[1] as $hot
+    | [$hot[].name] as $names
+    | [.[0][] | select(.name as $n | $names | index($n) | not)] + $hot' \
+    "$out" "$hjson" > "$out.tmp" && mv "$out.tmp" "$out"
+
 echo "wrote $out"
 
 # Shard-scaling sweep: rerun the sharded benchmarks across GOMAXPROCS
