@@ -46,8 +46,7 @@
 // "profile" for the per-stage cost attribution, and "accuracy" for the
 // final estimator accuracy snapshot of ESTIMATE … WITH ERROR queries).
 // The directory gets events.jsonl, metrics.prom, state.json, trace.json,
-// replay.sopt, PROFILE.json and ACCURACY.json as selected. The old per-artifact flags -events FILE and
-// -trace FILE still work but are deprecated aliases.
+// replay.sopt, PROFILE.json and ACCURACY.json as selected.
 //
 // -profile runs the query with sampled per-stage cost profiling — the
 // EXPLAIN ANALYZE of this engine — and prints the attribution tree
@@ -109,8 +108,6 @@ type config struct {
 	Stats      bool    // -stats
 	Explain    bool    // -explain
 	Metrics    string  // -metrics
-	Events     string  // -events
-	TraceOut   string  // -trace: Chrome trace-event JSON output
 	TraceEvery int     // -trace-every
 	Pprof      bool    // -pprof
 	Partial    int     // -partial: run as a partial-agg node with this many slots
@@ -141,9 +138,7 @@ func main() {
 	flag.BoolVar(&cfg.Explain, "explain", false, "print the compiled plan and exit")
 	flag.IntVar(&cfg.Ring, "ring", 4096, "ring-buffer capacity feeding the query node")
 	flag.StringVar(&cfg.Metrics, "metrics", "", "serve Prometheus telemetry and /debug introspection on this address (e.g. :9090); keeps serving until SIGINT/SIGTERM")
-	flag.StringVar(&cfg.Events, "events", "", "deprecated alias for -o DIR -artifacts events: stream JSONL telemetry events to this file")
-	flag.StringVar(&cfg.TraceOut, "trace", "", "deprecated alias for -o DIR -artifacts trace: write provenance traces as Chrome trace-event JSON to this file")
-	flag.IntVar(&cfg.TraceEvery, "trace-every", 1000, "with -trace: trace one in this many source packets (deterministic per -seed)")
+	flag.IntVar(&cfg.TraceEvery, "trace-every", 1000, "with -artifacts trace: trace one in this many source packets (deterministic per -seed)")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "serve /debug/pprof and the introspection surface (on -metrics, or an ephemeral port when -metrics is unset)")
 	flag.IntVar(&cfg.Partial, "partial", 0, "run the query as a low-level partial-aggregation node with this many group-table slots (0 = full operator)")
 	flag.BoolVar(&cfg.Parallel, "parallel", false, "run with real concurrency (RunParallel); with -partial the node is sharded")
@@ -447,9 +442,8 @@ func run(cfg config) error {
 // records, and replay captures can be large).
 const defaultArtifacts = "events,metrics,state"
 
-// artifactPaths resolves where each run artifact lands: under -o DIR per
-// the -artifacts selection, or at the paths the deprecated -events and
-// -trace aliases name directly. An empty path disables the artifact.
+// artifactPaths resolves where each run artifact lands under -o DIR per
+// the -artifacts selection. An empty path disables the artifact.
 type artifactPaths struct {
 	Events   string // JSONL telemetry event stream
 	Metrics  string // final Prometheus exposition
@@ -463,18 +457,7 @@ type artifactPaths struct {
 func resolveArtifacts(cfg config) (artifactPaths, error) {
 	var a artifactPaths
 	if cfg.OutDir == "" {
-		if cfg.Events != "" {
-			fmt.Fprintln(os.Stderr, "gsq: warning: -events FILE is deprecated; use -o DIR -artifacts events")
-			a.Events = cfg.Events
-		}
-		if cfg.TraceOut != "" {
-			fmt.Fprintln(os.Stderr, "gsq: warning: -trace FILE is deprecated; use -o DIR -artifacts trace")
-			a.Trace = cfg.TraceOut
-		}
 		return a, nil
-	}
-	if cfg.Events != "" || cfg.TraceOut != "" {
-		return a, fmt.Errorf("-events/-trace name their own output files; with -o select artifacts via -artifacts instead")
 	}
 	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
 		return a, err

@@ -114,21 +114,27 @@ func TestRunErrors(t *testing.T) {
 	if err := run(config{Query: "not a query", Feed: "steady", Duration: 1, Seed: 1, Ring: 4096}); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run(config{Query: "SELECT uts FROM PKT", Feed: "steady", Duration: 0.1, Seed: 1, Ring: 4096, Events: "/no/such/dir/ev.jsonl"}); err == nil {
-		t.Error("unwritable events file accepted")
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{Query: "SELECT uts FROM PKT", Feed: "steady", Duration: 0.1, Seed: 1, Ring: 4096, OutDir: filepath.Join(blocker, "sub")}); err == nil {
+		t.Error("unwritable artifact directory accepted")
 	}
 }
 
-// TestRunEventsFile exercises -events end to end: the run must leave a
-// parseable JSONL file with at least one window_flush event.
+// TestRunEventsFile exercises the events artifact end to end: the run
+// must leave a parseable JSONL file with at least one window_flush event.
 func TestRunEventsFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
 	err := run(config{
 		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
-		Feed:  "steady", Duration: 2, Seed: 1, Ring: 4096, Events: path,
+		Feed:  "steady", Duration: 2, Seed: 1, Ring: 4096,
+		OutDir: dir, Artifacts: "events",
 	})
 	if err != nil {
-		t.Fatalf("run -events: %v", err)
+		t.Fatalf("run -artifacts events: %v", err)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -331,16 +337,6 @@ func TestRunArtifactFlagErrors(t *testing.T) {
 	if err := run(cfg); err == nil {
 		t.Error("unknown artifact name accepted")
 	}
-	cfg = base
-	cfg.OutDir, cfg.Events = t.TempDir(), "ev.jsonl"
-	if err := run(cfg); err == nil {
-		t.Error("-o combined with -events accepted")
-	}
-	cfg = base
-	cfg.OutDir, cfg.TraceOut = t.TempDir(), "t.json"
-	if err := run(cfg); err == nil {
-		t.Error("-o combined with -trace accepted")
-	}
 }
 
 // TestRunOverloadInject exercises -overload and -inject end to end for
@@ -377,20 +373,20 @@ func TestRunOverloadInject(t *testing.T) {
 	}
 }
 
-// TestRunTraceFile exercises -trace end to end: the run must leave a
-// Chrome trace-event JSON array with dispositions, and -events must carry
-// the mirrored trace_span / trace_done stream.
+// TestRunTraceFile exercises the trace artifact end to end: the run must
+// leave a Chrome trace-event JSON array with dispositions, and the events
+// artifact must carry the mirrored trace_span / trace_done stream.
 func TestRunTraceFile(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.json")
-	eventsPath := filepath.Join(dir, "ev.jsonl")
+	eventsPath := filepath.Join(dir, "events.jsonl")
 	err := run(config{
 		Query: "SELECT tb, count(*) FROM PKT GROUP BY time/1 as tb",
 		Feed:  "steady", Duration: 1, Seed: 1, Ring: 4096, Stats: true,
-		Events: eventsPath, TraceOut: tracePath, TraceEvery: 100,
+		OutDir: dir, Artifacts: "events,trace", TraceEvery: 100,
 	})
 	if err != nil {
-		t.Fatalf("run -trace: %v", err)
+		t.Fatalf("run -artifacts trace: %v", err)
 	}
 
 	b, err := os.ReadFile(tracePath)

@@ -1,0 +1,464 @@
+// Command gsqd is the standing-query server: one long-lived engine
+// session pumping a shared packet feed, with GSQL queries installed and
+// uninstalled over HTTP while packets keep flowing — the paper's
+// Gigascope deployment shape (many concurrent queries multiplexed onto
+// one tap through the two-level low/high split) served as a daemon.
+//
+// Usage:
+//
+//	gsqd -addr :8080 -feed bursty -speedup 50
+//	curl -X POST localhost:8080/queries -d '{
+//	  "name": "heavy", "via": "SELECT time, srcIP, len, uts FROM PKT",
+//	  "query": "SELECT tb, srcIP, sum(len) FROM tap GROUP BY time/1 as tb, srcIP"}'
+//	curl -N localhost:8080/queries/heavy/rows       # SSE row stream
+//	curl localhost:8080/queries | jq                # EXPLAIN per query
+//	curl -X DELETE localhost:8080/queries/heavy
+//
+// Routes:
+//
+//	GET    /healthz             liveness + session state
+//	GET    /queries             installed queries (plan EXPLAIN included)
+//	POST   /queries             install a standing query (JSON body)
+//	GET    /queries/{name}      one query's status
+//	DELETE /queries/{name}      uninstall
+//	GET    /queries/{name}/rows SSE stream of the query's output rows
+//	/metrics, /metrics.json, /debug/{plan,state,profile,accuracy,pprof}
+//	                            telemetry surface, same listener
+//
+// Install payload: {"name": ..., "query": ..., "via": ..., "buffer": N,
+// "block": bool, "seed": N}. A query whose FROM is PKT runs as its own
+// low-level node; any other FROM names a shared low-level tap, created
+// from "via" (a query reading PKT) on first use and refcounted across
+// every subscriber — install a thousand tenants over one tap and the
+// packet stream is still scanned once. See docs/SERVER.md.
+//
+// The feed replays one of the synthetic taps (-feed, -duration, -seed)
+// paced by -speedup (0 = as fast as possible), looping forever by
+// default (-loop=false drains once and keeps serving). SIGINT/SIGTERM
+// drains the session gracefully — open windows flush to their
+// subscribers — then stops the listener.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamop/internal/engine"
+	"streamop/internal/telemetry"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+	"streamop/internal/value"
+)
+
+// config carries every gsqd flag; run takes it whole so tests can build
+// servers without flag plumbing.
+type config struct {
+	Addr     string  // -addr: HTTP listen address
+	Feed     string  // -feed: bursty|steady|ddos|flows
+	Duration float64 // -duration: simulated seconds per feed lap
+	Seed     uint64  // -seed
+	Ring     int     // -ring: source ring capacity
+	Speedup  float64 // -speedup: pacing factor (0 = unpaced)
+	Loop     bool    // -loop: regenerate the feed when it drains
+	Buffer   int     // -buffer: default per-subscription row buffer
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.Addr, "addr", ":8080", "HTTP listen address")
+	flag.StringVar(&cfg.Feed, "feed", "bursty", "synthetic feed: bursty|steady|ddos|flows")
+	flag.Float64Var(&cfg.Duration, "duration", 60, "simulated feed duration in seconds (per lap with -loop)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.Ring, "ring", 4096, "source ring-buffer capacity")
+	flag.Float64Var(&cfg.Speedup, "speedup", 1, "pace the feed at this multiple of capture time (0 = as fast as possible)")
+	flag.BoolVar(&cfg.Loop, "loop", true, "regenerate the feed when it drains, so the tap never ends")
+	flag.IntVar(&cfg.Buffer, "buffer", 256, "default per-subscription row buffer (overridable per install)")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gsqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sv, err := newServer(cfg)
+	if err != nil {
+		return err
+	}
+	if err := sv.start(context.Background()); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: sv.mux, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	// The smoke script and humans both key on this line for the bound
+	// address (-addr :0 picks an ephemeral port).
+	fmt.Fprintf(os.Stderr, "gsqd: listening on http://%s (feed=%s speedup=%g)\n", ln.Addr(), cfg.Feed, cfg.Speedup)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "gsqd: signal received; draining session")
+	case err := <-errCh:
+		return fmt.Errorf("http server: %w", err)
+	}
+	// Drain first: the pump flushes open windows to subscribers and
+	// closes their channels, which ends every live SSE stream, so the
+	// listener shutdown below does not wait on stuck streams.
+	if err := sv.e.Drain(); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gsqd: drain:", err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutting down: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "gsqd: drained; bye")
+	return nil
+}
+
+// server is the HTTP frontend over one engine session. It is built
+// separately from run so the httptest suite can drive the mux directly.
+type server struct {
+	cfg  config
+	e    *engine.Engine
+	col  *telemetry.Collector
+	feed trace.Feed
+	mux  *http.ServeMux
+}
+
+func newServer(cfg config) (*server, error) {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 4096
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	e, err := engine.New(cfg.Ring)
+	if err != nil {
+		return nil, err
+	}
+	col := telemetry.New()
+	if err := e.SetCollector(col); err != nil {
+		return nil, err
+	}
+	feed, err := openFeed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sv := &server{cfg: cfg, e: e, col: col, feed: feed}
+	sv.routes()
+	return sv, nil
+}
+
+// start begins pumping the feed. Split from newServer so tests can
+// install queries against the idle engine first.
+func (s *server) start(ctx context.Context) error {
+	return s.e.StartWith(ctx, s.feed, engine.StartOptions{Speedup: s.cfg.Speedup})
+}
+
+func (s *server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("POST /queries", s.handleInstall)
+	mux.HandleFunc("GET /queries/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /queries/{name}", s.handleUninstall)
+	mux.HandleFunc("GET /queries/{name}/rows", s.handleRows)
+	// Everything else — /metrics, /metrics.json, /debug/* and the index —
+	// is the collector's standard introspection surface on this listener.
+	mux.Handle("/", s.col.Handler())
+	s.mux = mux
+}
+
+// installRequest is the POST /queries payload.
+type installRequest struct {
+	Name string `json:"name"`
+	// Query is the GSQL text of the standing query. FROM PKT runs it as
+	// its own low-level node; any other FROM names a shared tap.
+	Query string `json:"query"`
+	// Via is the GSQL text of the shared low-level tap (reading PKT) the
+	// query's FROM refers to; required on the tap's first install,
+	// optional (but conflict-checked) afterwards.
+	Via string `json:"via,omitempty"`
+	// Buffer is this query's per-subscription row buffer; 0 uses the
+	// server's -buffer default.
+	Buffer int `json:"buffer,omitempty"`
+	// Block switches the subscriber overflow policy from drop-oldest to
+	// blocking backpressure (one slow subscriber then stalls the shared
+	// pump — tenant beware).
+	Block bool `json:"block,omitempty"`
+	// Seed seeds the query's stateful functions (sampling operators).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// queryInfo is one installed query in GET /queries responses.
+type queryInfo struct {
+	Name        string   `json:"name"`
+	Via         string   `json:"via,omitempty"`
+	Columns     []string `json:"columns"`
+	RowsOut     int64    `json:"rows_out"`
+	Dropped     uint64   `json:"dropped"`
+	Subscribers int      `json:"subscribers"`
+	Failed      string   `json:"failed,omitempty"`
+	Explain     string   `json:"explain"`
+}
+
+func info(h *engine.QueryHandle) queryInfo {
+	qi := queryInfo{
+		Name:        h.Name(),
+		Via:         h.Via(),
+		Columns:     h.Columns(),
+		RowsOut:     h.RowsOut(),
+		Dropped:     h.Dropped(),
+		Subscribers: h.Subscribers(),
+		Explain:     h.Explain(),
+	}
+	if err := h.Err(); err != nil {
+		qi.Failed = err.Error()
+	}
+	return qi
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"session_active": s.e.SessionActive(),
+		"queries":        len(s.e.Installed()),
+		"taps":           s.e.TapCount(),
+		"packets":        s.e.Packets(),
+	})
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	handles := s.e.Installed()
+	out := make([]queryInfo, 0, len(handles))
+	for _, h := range handles {
+		out = append(out, info(h))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
+}
+
+func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	var req installRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding install request: %w", err))
+		return
+	}
+	if req.Name == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("install request needs \"name\" and \"query\""))
+		return
+	}
+	buffer := req.Buffer
+	if buffer <= 0 {
+		buffer = s.cfg.Buffer
+	}
+	h, err := s.e.Install(req.Name, req.Query, engine.InstallOptions{
+		Via:    req.Via,
+		Seed:   req.Seed,
+		Buffer: buffer,
+		Block:  req.Block,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info(h))
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	h := s.e.Lookup(r.PathValue("name"))
+	if h == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no query named %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info(h))
+}
+
+func (s *server) handleUninstall(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.e.Lookup(name) == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no query named %q", name))
+		return
+	}
+	if err := s.e.Uninstall(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRows streams a query's output rows as Server-Sent Events: one
+// "row" event per output row, data = a JSON object keyed by the query's
+// column names, ids counting from 0 per subscription. The stream ends
+// when the client disconnects, the query is uninstalled, or the session
+// drains; a comment ping goes out every 15s so dead clients are noticed
+// on an otherwise quiet query.
+func (s *server) handleRows(w http.ResponseWriter, r *http.Request) {
+	h := s.e.Lookup(r.PathValue("name"))
+	if h == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no query named %q", r.PathValue("name")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	sub := h.Subscribe()
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	cols := h.Columns()
+	ping := time.NewTicker(15 * time.Second)
+	defer ping.Stop()
+	enc := json.NewEncoder(w)
+	done := r.Context().Done()
+	var id uint64
+	for {
+		select {
+		case <-done:
+			return
+		case <-ping.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case row, open := <-sub.C():
+			if !open {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: row\ndata: ", id)
+			if err := enc.Encode(rowJSON(cols, row)); err != nil {
+				return
+			}
+			// Encode emits one trailing newline; SSE needs a blank line.
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			id++
+		}
+	}
+}
+
+// rowJSON zips one output row with the query's column names.
+func rowJSON(cols []string, row tuple.Tuple) map[string]any {
+	m := make(map[string]any, len(cols))
+	for i, c := range cols {
+		if i >= len(row) {
+			break
+		}
+		m[c] = jsonValue(row[i])
+	}
+	return m
+}
+
+func jsonValue(v value.Value) any {
+	switch v.Kind() {
+	case value.Bool:
+		return v.Bool()
+	case value.Int:
+		return v.AsInt()
+	case value.Uint:
+		return v.AsUint()
+	case value.Float:
+		return v.AsFloat()
+	case value.String:
+		return v.Str()
+	default:
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// openFeed builds the server's packet feed: one of the synthetic taps,
+// looped so the stream never ends (unless -loop=false).
+func openFeed(cfg config) (trace.Feed, error) {
+	gen := func() (trace.Feed, error) {
+		switch cfg.Feed {
+		case "bursty":
+			return trace.NewBursty(trace.DefaultBursty(cfg.Seed, cfg.Duration))
+		case "steady":
+			return trace.NewSteady(trace.DefaultSteady(cfg.Seed, cfg.Duration))
+		case "ddos":
+			return trace.NewDDoS(trace.DefaultDDoS(cfg.Seed, cfg.Duration))
+		case "flows":
+			return trace.NewFlows(trace.DefaultFlows(cfg.Seed, cfg.Duration))
+		}
+		return nil, fmt.Errorf("unknown feed %q", cfg.Feed)
+	}
+	first, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Loop {
+		return first, nil
+	}
+	return &loopFeed{gen: gen, cur: first}, nil
+}
+
+// loopFeed replays a regenerating feed forever: each time the inner feed
+// drains it is rebuilt, with packet timestamps offset past the previous
+// lap so simulated time keeps increasing (windows keep closing) across
+// laps.
+type loopFeed struct {
+	gen    func() (trace.Feed, error)
+	cur    trace.Feed
+	offset uint64
+	last   uint64
+}
+
+func (f *loopFeed) Next() (trace.Packet, bool) {
+	for {
+		if f.cur == nil {
+			cur, err := f.gen()
+			if err != nil {
+				return trace.Packet{}, false
+			}
+			f.cur = cur
+			f.offset = f.last + uint64(time.Millisecond)
+		}
+		p, ok := f.cur.Next()
+		if !ok {
+			f.cur = nil
+			continue
+		}
+		p.Time += f.offset
+		f.last = p.Time
+		return p, true
+	}
+}

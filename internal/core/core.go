@@ -54,10 +54,6 @@ type Options struct {
 	// OnRow receives output rows as they are produced; nil collects them
 	// in Query.Collected (unless Query.Rows drives the feed instead).
 	OnRow func(Row) error
-	// Emit is the former name of OnRow, honored when OnRow is nil.
-	//
-	// Deprecated: set OnRow.
-	Emit func(Row) error
 	// Overload overrides the query's OVERLOAD clause: the ring admission
 	// policy ("drop-tail", "shed-sample" or "block") the compiled plan
 	// requests when wired into an Engine. Empty leaves the clause (or the
@@ -120,11 +116,7 @@ func Compile(src string, opts Options) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	emit := opts.OnRow
-	if emit == nil {
-		emit = opts.Emit
-	}
-	q := &Query{plan: plan, cols: plan.SelectNames, emit: emit}
+	q := &Query{plan: plan, cols: plan.SelectNames, emit: opts.OnRow}
 	if schema.Name() == trace.Schema().Name() && schema.NumFields() == trace.NumFields {
 		q.scratch = make(tuple.Tuple, trace.NumFields)
 	}

@@ -58,7 +58,7 @@ func TestRunFeedCollectsRows(t *testing.T) {
 func TestEmitCallback(t *testing.T) {
 	var got []Row
 	q, err := Compile(`SELECT uts FROM PKT WHERE len > 0`, Options{
-		Emit: func(r Row) error { got = append(got, r); return nil },
+		OnRow: func(r Row) error { got = append(got, r); return nil },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestEmitCallback(t *testing.T) {
 
 func TestEmitErrorPropagates(t *testing.T) {
 	q, err := Compile(`SELECT uts FROM PKT`, Options{
-		Emit: func(Row) error { return fmt.Errorf("sink full") },
+		OnRow: func(Row) error { return fmt.Errorf("sink full") },
 	})
 	if err != nil {
 		t.Fatal(err)

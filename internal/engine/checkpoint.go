@@ -83,8 +83,12 @@ type ckptMetrics struct {
 }
 
 // SetCheckpoint enables checkpointing for subsequent runs. Call before
-// Run/RunParallel (and before RestoreLatest when resuming).
+// Run/RunParallel (and before RestoreLatest when resuming); it errors
+// once a run or session is active.
 func (e *Engine) SetCheckpoint(cfg CheckpointConfig) error {
+	if err := e.setterGuard("SetCheckpoint"); err != nil {
+		return err
+	}
 	if cfg.Dir == "" {
 		return fmt.Errorf("engine: checkpoint directory must not be empty")
 	}
@@ -167,10 +171,10 @@ func (e *Engine) ckptNodes() []*Node {
 func (e *Engine) encodeCheckpoint() ([]byte, error) {
 	enc := checkpoint.NewEncoder()
 	enc.U64(e.topologyFingerprint())
-	enc.U64(e.firstTS)
-	enc.U64(e.lastTS)
-	enc.I64(e.packets)
-	enc.Bool(e.sawPacket)
+	enc.U64(e.firstTS.Load())
+	enc.U64(e.lastTS.Load())
+	enc.I64(e.packets.Load())
+	enc.Bool(e.sawPacket.Load())
 	nodes := e.ckptNodes()
 	enc.Len(len(nodes))
 	for _, n := range nodes {
@@ -259,7 +263,7 @@ func (e *Engine) writeCheckpoint() error {
 	}
 	if e.tel.EventsEnabled() {
 		e.tel.Emit("checkpoint", map[string]any{
-			"seq": seq, "bytes": len(payload), "packets": e.packets,
+			"seq": seq, "bytes": len(payload), "packets": e.packets.Load(),
 			"windows": ck.lastWindows, "duration_ms": dur.Milliseconds(),
 		})
 	}
@@ -312,15 +316,15 @@ func (e *Engine) RestoreLatest() (*RestoreInfo, error) {
 	if fp := d.U64(); d.Err() == nil && fp != e.topologyFingerprint() {
 		return nil, fmt.Errorf("engine: snapshot %s was taken from a different query topology", snap.Path)
 	}
-	e.firstTS = d.U64()
-	e.lastTS = d.U64()
-	e.packets = d.I64()
-	e.sawPacket = d.Bool()
+	e.firstTS.Store(d.U64())
+	e.lastTS.Store(d.U64())
+	e.packets.Store(d.I64())
+	e.sawPacket.Store(d.Bool())
 	nodes := e.ckptNodes()
 	if n := d.Len(); d.Err() == nil && n != len(nodes) {
 		return nil, fmt.Errorf("engine: snapshot has %d nodes, topology has %d", n, len(nodes))
 	}
-	info := &RestoreInfo{Path: snap.Path, Seq: snap.Seq, Packets: e.packets}
+	info := &RestoreInfo{Path: snap.Path, Seq: snap.Seq, Packets: e.packets.Load()}
 	for _, n := range nodes {
 		name := d.String()
 		if d.Err() != nil {
@@ -374,14 +378,14 @@ func (e *Engine) RestoreLatest() (*RestoreInfo, error) {
 	ck.seq = snap.Seq
 	ck.aSeq.Store(snap.Seq)
 	ck.lastWindows = info.Windows
-	ck.resumeSkip = e.packets
+	ck.resumeSkip = e.packets.Load()
 	if m := ck.metrics(e.tel); m != nil {
 		m.restores.Add(1)
 		m.lastSeq.Set(float64(snap.Seq))
 	}
 	if e.tel.EventsEnabled() {
 		e.tel.Emit("restore", map[string]any{
-			"seq": snap.Seq, "packets": e.packets, "windows": info.Windows, "path": snap.Path,
+			"seq": snap.Seq, "packets": e.packets.Load(), "windows": info.Windows, "path": snap.Path,
 		})
 	}
 	return info, nil

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"streamop/internal/operator"
 	"streamop/internal/telemetry"
 )
@@ -12,11 +14,14 @@ import (
 //
 // The source functions run on the HTTP goroutine while Run executes, so
 // they read only data that is immutable after construction (names, plans,
-// schemas, topology) or published through atomics: the source ring's
-// counters, the engine's ring peak, each operator's boundary-consistent
-// DebugState snapshot, and the tracer's mutex-guarded summary. Node busy
-// times and tuple counters are deliberately absent — they are plain
-// fields owned by the run loop (scrape /metrics for their synced gauges).
+// schemas) or published through atomics: the source ring's counters, the
+// engine's ring peak, each operator's boundary-consistent DebugState
+// snapshot, and the tracer's mutex-guarded summary. Node busy times and
+// tuple counters are deliberately absent — they are plain fields owned by
+// the run loop (scrape /metrics for their synced gauges). The topology
+// itself is no longer immutable — sessions install and uninstall queries
+// mid-run — so every source walks it under topoMu (the pump takes the
+// write lock only while splicing).
 
 // NodePlan is one node's entry in the /debug/plan payload.
 type NodePlan struct {
@@ -82,6 +87,8 @@ type NodeAccuracy struct {
 // every node whose plan carries ESTIMATE columns. Nodes without estimates
 // (and partial-agg nodes, which reject estimating plans) are omitted.
 func (e *Engine) debugAccuracy() []NodeAccuracy {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	out := []NodeAccuracy{}
 	for _, n := range e.low {
 		if n.op.Estimating() {
@@ -97,6 +104,8 @@ func (e *Engine) debugAccuracy() []NodeAccuracy {
 }
 
 func (e *Engine) debugPlan() []NodePlan {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	var out []NodePlan
 	add := func(n *Node, level string) {
 		np := NodePlan{
@@ -122,7 +131,18 @@ func (e *Engine) debugPlan() []NodePlan {
 	return out
 }
 
+// SessionDebug is the standing-query session's entry in /debug/state.
+type SessionDebug struct {
+	Active     bool     `json:"active"`
+	Queries    []string `json:"queries"`
+	Taps       []string `json:"taps"`
+	Installs   int64    `json:"installs"`
+	Uninstalls int64    `json:"uninstalls"`
+}
+
 func (e *Engine) debugState() map[string]any {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	nodes := make([]NodeDebug, 0, len(e.low)+len(e.lowPartial)+len(e.high))
 	for _, n := range e.low {
 		nodes = append(nodes, NodeDebug{Name: n.name, State: n.op.DebugSnapshot()})
@@ -169,6 +189,24 @@ func (e *Engine) debugState() map[string]any {
 	}
 	if f := e.Failures(); len(f) > 0 {
 		st["failures"] = f
+	}
+	if len(e.handles) > 0 || e.installs.Load() > 0 || e.SessionActive() {
+		sd := SessionDebug{
+			Active:     e.SessionActive(),
+			Queries:    make([]string, 0, len(e.handles)),
+			Taps:       make([]string, 0, len(e.taps)),
+			Installs:   e.installs.Load(),
+			Uninstalls: e.uninstalls.Load(),
+		}
+		for name := range e.handles {
+			sd.Queries = append(sd.Queries, name)
+		}
+		for _, t := range e.taps {
+			sd.Taps = append(sd.Taps, t.name)
+		}
+		sort.Strings(sd.Queries)
+		sort.Strings(sd.Taps)
+		st["session"] = sd
 	}
 	if ck := e.ckpt; ck != nil {
 		st["checkpoint"] = map[string]any{

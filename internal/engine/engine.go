@@ -160,9 +160,12 @@ type Engine struct {
 	high       []*Node // topological order (parents before children)
 	names      map[string]bool
 
-	firstTS, lastTS uint64
-	packets         int64
-	sawPacket       bool
+	// Stream counters are atomics: the pump goroutine writes them
+	// per-packet while HTTP handlers (gsqd's /healthz, the telemetry
+	// surface) read them mid-run.
+	firstTS, lastTS atomic.Uint64
+	packets         atomic.Int64
+	sawPacket       atomic.Bool
 
 	// Telemetry (see telemetry.go); ringPeak tracks the source ring's
 	// high-water mark unconditionally.
@@ -191,6 +194,9 @@ type Engine struct {
 	// shardCap overrides the shard rings' capacity when > 0 (tests use
 	// deliberately tiny rings to force overload).
 	shardCap int
+
+	// Standing-query session state (see session.go).
+	sessionFields
 }
 
 // New returns an engine with a ring buffer of the given capacity
@@ -201,6 +207,8 @@ func New(ringSize int) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{ring: ring, names: map[string]bool{}}
+	e.handles = map[string]*QueryHandle{}
+	e.taps = map[string]*tap{}
 	if c := telemetry.Default(); c.Enabled() {
 		e.SetCollector(c)
 	}
@@ -294,7 +302,20 @@ func (e *Engine) Run(feed trace.Feed) error {
 // and RunContext returns ctx.Err(). A context.Background() run is
 // identical to Run.
 func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
-	if len(e.low) == 0 && len(e.lowPartial) == 0 {
+	if err := e.beginRun(); err != nil {
+		return err
+	}
+	defer e.endRun()
+	return e.runSerial(ctx, feed, nil)
+}
+
+// runSerial is the serial pump shared by the one-shot Run path (s == nil,
+// byte-for-byte the historical RunContext behavior) and standing-query
+// sessions (s != nil: queued Install/Uninstall commands apply at ring-
+// drained boundaries, the feed is paced against the wall clock, and Drain
+// ends the stream gracefully). See session.go.
+func (e *Engine) runSerial(ctx context.Context, feed trace.Feed, s *session) error {
+	if s == nil && len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
 	if err := e.checkpointRunnable(false, 0); err != nil {
@@ -314,6 +335,11 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 	scratch := make(tuple.Tuple, trace.NumFields)
 	done := false
 	for !done {
+		if s != nil {
+			// Ring drained, every node settled: the safe boundary for
+			// topology changes, exactly like the checkpoint boundary below.
+			s.applyCommands()
+		}
 		// Producer: fill the ring from the feed.
 		for e.ring.Len() < e.ring.Cap() {
 			if ctxDone != nil {
@@ -326,18 +352,37 @@ func (e *Engine) RunContext(ctx context.Context, feed trace.Feed) error {
 					break
 				}
 			}
+			if s != nil {
+				if s.drained() {
+					done = true
+					break
+				}
+				if s.cmdPending() {
+					break
+				}
+			}
 			p, ok := feed.Next()
 			if !ok {
 				done = true
 				break
 			}
-			if !e.sawPacket {
-				e.firstTS = p.Time
-				e.sawPacket = true
+			liveEdge := false
+			if s != nil {
+				// A pacing wait means the pump caught up with the wall
+				// clock: drain what's buffered now instead of letting rows
+				// sit until the ring fills.
+				liveEdge = s.pace(p.Time)
 			}
-			e.lastTS = p.Time
-			e.packets++
+			if !e.sawPacket.Load() {
+				e.firstTS.Store(p.Time)
+				e.sawPacket.Store(true)
+			}
+			e.lastTS.Store(p.Time)
+			e.packets.Add(1)
 			e.offerSource(p)
+			if liveEdge {
+				break
+			}
 		}
 		e.noteRingPeak()
 		e.syncSourceRing()
@@ -465,8 +510,10 @@ func (e *Engine) offerSource(p trace.Packet) {
 	// NextSeq is an inlinable field read, so the untraced 999 in 1000
 	// packets skip the tracer's offer machinery entirely.
 	var tt *tracing.TupleTrace
-	if e.tr != nil && uint64(e.packets-1) == e.tr.NextSeq() {
-		tt = e.tr.SourceOffer(uint64(e.packets - 1))
+	if e.tr != nil {
+		if seq := uint64(e.packets.Load() - 1); seq == e.tr.NextSeq() {
+			tt = e.tr.SourceOffer(seq)
+		}
 	}
 	if g := e.srcGate; g.policy == overload.ShedSample {
 		if !g.ctrl.Admit(e.ring.Len(), e.ring.Cap()) {
@@ -533,14 +580,14 @@ func (e *Engine) drainHigh() error {
 
 // StreamDuration returns the simulated duration of the processed stream.
 func (e *Engine) StreamDuration() time.Duration {
-	if !e.sawPacket {
+	if !e.sawPacket.Load() {
 		return 0
 	}
-	return time.Duration(e.lastTS - e.firstTS)
+	return time.Duration(e.lastTS.Load() - e.firstTS.Load())
 }
 
 // Packets returns the number of packets offered.
-func (e *Engine) Packets() int64 { return e.packets }
+func (e *Engine) Packets() int64 { return e.packets.Load() }
 
 // Drops returns packets dropped at the ring buffer.
 func (e *Engine) Drops() uint64 { return e.ring.Drops() }
@@ -566,6 +613,8 @@ func (e *Engine) Utilization(n *Node) float64 {
 
 // Nodes returns every node, low-level first.
 func (e *Engine) Nodes() []*Node {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
 	out := make([]*Node, 0, len(e.low)+len(e.lowPartial)+len(e.high))
 	out = append(out, e.low...)
 	for _, n := range e.lowPartial {

@@ -41,16 +41,28 @@ import (
 // wrapper cannot reach.
 
 // SetOverload sets the engine-wide admission policy, overriding any
-// OVERLOAD plan hints. Call before Run or RunParallel.
-func (e *Engine) SetOverload(cfg overload.Config) {
+// OVERLOAD plan hints. Call before Run or RunParallel; it errors once a
+// run or session is active.
+func (e *Engine) SetOverload(cfg overload.Config) error {
+	if err := e.setterGuard("SetOverload"); err != nil {
+		return err
+	}
 	e.olCfg = cfg
 	e.olSet = true
+	return nil
 }
 
 // SetFaults attaches a deterministic fault-injector set: the engine wraps
 // its feed with f at run start and honors f's slow-consumer delay in the
-// consumer loops. A nil f disables injection.
-func (e *Engine) SetFaults(f *overload.Faults) { e.faults = f }
+// consumer loops. A nil f disables injection. It errors once a run or
+// session is active.
+func (e *Engine) SetFaults(f *overload.Faults) error {
+	if err := e.setterGuard("SetFaults"); err != nil {
+		return err
+	}
+	e.faults = f
+	return nil
+}
 
 // Faults returns the attached injector set, nil when none.
 func (e *Engine) Faults() *overload.Faults { return e.faults }

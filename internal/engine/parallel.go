@@ -54,6 +54,10 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 	if len(e.low) == 0 && len(e.lowPartial) == 0 {
 		return fmt.Errorf("engine: no low-level nodes")
 	}
+	if err := e.beginRun(); err != nil {
+		return err
+	}
+	defer e.endRun()
 	if err := e.checkpointRunnable(true, speedup); err != nil {
 		return err
 	}
@@ -167,16 +171,16 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 			if !ok {
 				break
 			}
-			if !e.sawPacket {
-				e.firstTS = p.Time
-				e.sawPacket = true
+			if !e.sawPacket.Load() {
+				e.firstTS.Store(p.Time)
+				e.sawPacket.Store(true)
 			}
-			e.lastTS = p.Time
-			e.packets++
+			e.lastTS.Store(p.Time)
+			e.packets.Add(1)
 			if speedup > 0 {
 				// Pace to the accelerated capture clock, then offer once:
 				// the gate's policy decides what a full ring costs.
-				target := time.Duration(float64(p.Time-e.firstTS) / speedup)
+				target := time.Duration(float64(p.Time-e.firstTS.Load()) / speedup)
 				for time.Since(startWall) < target && !checkCtx() {
 					runtime.Gosched()
 				}
@@ -207,7 +211,7 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 					}
 				}
 			}
-			if len(allGates) > 0 && e.packets%512 == 0 {
+			if len(allGates) > 0 && e.packets.Load()%512 == 0 {
 				for _, g := range allGates {
 					g.sync()
 				}
@@ -216,7 +220,7 @@ func (e *Engine) RunParallelContext(ctx context.Context, feed trace.Feed, speedu
 			// guarantees selection-only low nodes, unpaced), then snapshot if
 			// enough windows closed. A write failure is reported, not fatal —
 			// the stream keeps flowing and the next probe retries.
-			if ck := e.ckpt; ck != nil && ck.cfg.EveryWindows > 0 && e.packets%ckptProbeInterval == 0 {
+			if ck := e.ckpt; ck != nil && ck.cfg.EveryWindows > 0 && e.packets.Load()%ckptProbeInterval == 0 {
 				flushLow()
 				e.quiesceLow(rings)
 				if err := e.maybeCheckpoint(); err != nil {

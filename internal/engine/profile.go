@@ -20,8 +20,12 @@ import (
 
 // SetProfiler attaches a profiler to the engine and to every node
 // registered so far (nil detaches). Call it after registering nodes and
-// before Run/RunParallel.
-func (e *Engine) SetProfiler(p *profile.Profiler) {
+// before Run/RunParallel; it errors once a run or session is active
+// (queries installed later inherit the profiler).
+func (e *Engine) SetProfiler(p *profile.Profiler) error {
+	if err := e.setterGuard("SetProfiler"); err != nil {
+		return err
+	}
 	e.prof.Store(p)
 	if p == nil {
 		e.srcProf = nil
@@ -37,7 +41,7 @@ func (e *Engine) SetProfiler(p *profile.Profiler) {
 			h.prof = nil
 			h.op.SetProfile(nil)
 		}
-		return
+		return nil
 	}
 	e.srcProf = p.Node("source")
 	for _, n := range e.low {
@@ -52,6 +56,7 @@ func (e *Engine) SetProfiler(p *profile.Profiler) {
 		h.prof = p.Node(h.name)
 		h.op.SetProfile(h.prof)
 	}
+	return nil
 }
 
 // Profiler returns the attached profiler, nil when profiling is off. Safe
@@ -73,7 +78,7 @@ func (e *Engine) syncProfiles() {
 		return
 	}
 	if e.srcProf != nil {
-		e.srcProf.SyncRows(profile.StageDequeue, e.packets, int64(e.ring.Popped()), 0)
+		e.srcProf.SyncRows(profile.StageDequeue, e.packets.Load(), int64(e.ring.Popped()), 0)
 	}
 	for _, n := range e.low {
 		if n.prof != nil {

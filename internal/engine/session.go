@@ -1,0 +1,869 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamop/internal/gsql"
+	"streamop/internal/sfunlib"
+	"streamop/internal/trace"
+	"streamop/internal/tuple"
+)
+
+// Standing-query sessions: the long-lived form of the engine.
+//
+// The one-shot Run drains a finite feed through a fixed node tree and
+// returns. A session turns the same serial pump into a resident service:
+// Start begins pumping the shared feed on a background goroutine, Install
+// and Uninstall add and remove named GSQL queries while packets keep
+// flowing, and Drain flushes the open windows and stops. This is the
+// paper's Gigascope deployment shape — one packet tap, many concurrent
+// GSQL queries sharing the two-level low/high split — served as an API.
+//
+// Sharing. A query whose FROM names the packet schema (PKT) runs as its
+// own low-level node. A query whose FROM names anything else reads a
+// *tap*: a shared low-level node installed once (from InstallOptions.Via)
+// and refcounted across every subscriber query, so N queries over the
+// same early data reduction cost one pass over the packets plus N passes
+// over the (much smaller) reduced stream. Uninstalling the last
+// subscriber tears the tap down. That is exactly the low-level
+// deduplication the paper's two-level split exists to enable.
+//
+// Concurrency model. The pump is the single goroutine that touches
+// operator state, so no operator ever needs a lock. Install and Uninstall
+// from other goroutines post commands that the pump applies at a batch
+// boundary — the same all-nodes-settled point the checkpointer uses — and
+// block until the pump replies. While the engine is idle (no session, no
+// run) they apply directly on the caller's goroutine. The topology
+// structures (node lists, taps, handles) are guarded by topoMu only for
+// the benefit of concurrent readers (/debug sources, GET /queries); the
+// pump itself is always the sole writer while running.
+//
+// Delivery. Each installed query fans its output rows to any number of
+// Subscriptions (bounded channels, per-query buffer size and overflow
+// policy from InstallOptions) and an optional synchronous OnRow callback.
+// A subscriber that falls behind under the default drop policy loses the
+// oldest buffered rows — counted, never blocking the pump; under Block
+// the pump waits (backpressure, one slow subscriber stalls the tap). An
+// OnRow error fails only that query (recorded like a contained panic);
+// the session and its other queries keep running.
+
+// ErrSessionClosed is returned by Install/Uninstall/session accessors
+// when the session ended before the request could be applied.
+var ErrSessionClosed = errors.New("engine: session ended")
+
+// run-state values for Engine.runState.
+const (
+	stateIdle int32 = iota
+	stateRunning
+)
+
+// beginRun marks the engine busy; exactly one run or session may be
+// active at a time.
+func (e *Engine) beginRun() error {
+	if !e.runState.CompareAndSwap(stateIdle, stateRunning) {
+		return fmt.Errorf("engine: a run or session is already active")
+	}
+	return nil
+}
+
+func (e *Engine) endRun() { e.runState.Store(stateIdle) }
+
+// setterGuard rejects reconfiguration while a run or session is active.
+// The Set* methods were previously silent races when called mid-run; now
+// they fail fast instead.
+func (e *Engine) setterGuard(what string) error {
+	if e.runState.Load() != stateIdle {
+		return fmt.Errorf("engine: %s: cannot reconfigure while a run or session is active", what)
+	}
+	return nil
+}
+
+// sessionFields is the engine's session state, embedded in Engine.
+type sessionFields struct {
+	// topoMu guards the topology (low/lowPartial/high/names), taps and
+	// handles for cross-goroutine readers. The running pump is the sole
+	// writer (idle installs write under the same lock).
+	topoMu   sync.RWMutex
+	runState atomic.Int32
+
+	sessMu   sync.Mutex // guards sess/lastSess
+	sess     *session
+	lastSess *session
+
+	handles map[string]*QueryHandle
+	taps    map[string]*tap
+
+	installs   atomic.Int64
+	uninstalls atomic.Int64
+}
+
+// tap is one shared low-level node plus its subscriber refcount.
+type tap struct {
+	name string // node name == the FROM name subscriber queries use
+	node *Node
+	key  string // canonical plan rendering, for Via conflict detection
+	refs int
+}
+
+// StartOptions configures a session.
+type StartOptions struct {
+	// Speedup paces the feed against the wall clock: packets are admitted
+	// no earlier than (packet time - first packet time) / Speedup after
+	// the first packet. 1 replays in real time, 100 replays a 100-second
+	// capture in one second. <= 0 disables pacing (the pump runs as fast
+	// as the feed produces).
+	Speedup float64
+}
+
+// InstallOptions configures one standing query.
+type InstallOptions struct {
+	// Via is the GSQL text of the shared low-level tap the query reads,
+	// itself reading PKT. The query's FROM clause names the tap; the
+	// first install under a given FROM name creates it, later installs
+	// reuse it (their Via, when non-empty, must compile to the same
+	// plan). Empty Via requires either FROM PKT (the query runs as its
+	// own low-level node) or a tap some earlier install already created.
+	Via string
+	// Seed seeds the query's (and a newly created tap's) stateful
+	// functions.
+	Seed uint64
+	// Buffer is each Subscription's row buffer (default 256).
+	Buffer int
+	// Block selects the overflow policy when a subscriber's buffer is
+	// full: false (default) drops the oldest buffered row and counts it;
+	// true blocks the pump until the subscriber catches up
+	// (backpressure — one slow subscriber stalls the shared feed).
+	Block bool
+	// OnRow, when non-nil, receives every output row synchronously on
+	// the pump goroutine. An error return fails this query only (see
+	// Engine.Failures); other queries and the session keep running.
+	OnRow func(tuple.Tuple) error
+}
+
+// session is one live Start..Drain lifecycle.
+type session struct {
+	e       *Engine
+	speedup float64
+
+	cmds    chan *sessCmd
+	drainCh chan struct{}
+	drainMu sync.Once
+	done    chan struct{}
+	err     error // set before done closes
+
+	// Pacing state, owned by the pump.
+	sawBase   bool
+	baseTS    uint64
+	startWall time.Time
+
+	pendingFails atomic.Int32
+	ctxDone      <-chan struct{}
+}
+
+type sessCmd struct {
+	fn   func() (any, error)
+	resp chan cmdResult
+}
+
+type cmdResult struct {
+	v   any
+	err error
+}
+
+// Start begins a session: the engine pumps feed through whatever queries
+// are (and become) installed, on a background goroutine, until the feed
+// drains, ctx is cancelled, or Drain is called. Unpaced; see StartWith.
+func (e *Engine) Start(ctx context.Context, feed trace.Feed) error {
+	return e.StartWith(ctx, feed, StartOptions{})
+}
+
+// StartWith is Start with options.
+func (e *Engine) StartWith(ctx context.Context, feed trace.Feed, opts StartOptions) error {
+	if feed == nil {
+		return fmt.Errorf("engine: session needs a feed")
+	}
+	if e.ckpt != nil {
+		return fmt.Errorf("engine: checkpointing requires a fixed topology; sessions do not support it")
+	}
+	if err := e.beginRun(); err != nil {
+		return err
+	}
+	s := &session{
+		e:       e,
+		speedup: opts.Speedup,
+		cmds:    make(chan *sessCmd, 64),
+		drainCh: make(chan struct{}),
+		done:    make(chan struct{}),
+		ctxDone: ctx.Done(),
+	}
+	e.sessMu.Lock()
+	e.sess = s
+	e.sessMu.Unlock()
+	go func() {
+		err := e.runSerial(ctx, feed, s)
+		s.finish(err)
+	}()
+	return nil
+}
+
+// finish closes out the session: subscriptions end, the engine returns to
+// idle, and pending commands are refused.
+func (s *session) finish(err error) {
+	e := s.e
+	e.topoMu.Lock()
+	for _, h := range e.handles {
+		h.closeSubs(false)
+	}
+	e.topoMu.Unlock()
+	e.sessMu.Lock()
+	s.err = err
+	e.sess = nil
+	e.lastSess = s
+	e.sessMu.Unlock()
+	e.endRun()
+	close(s.done)
+	for {
+		select {
+		case c := <-s.cmds:
+			c.resp <- cmdResult{err: ErrSessionClosed}
+		default:
+			return
+		}
+	}
+}
+
+// Drain gracefully ends the session: the pump stops taking packets,
+// every node flushes its open windows bottom-up, subscriptions close,
+// and Drain returns the session's error (nil after a clean drain). It
+// also reports the outcome of a session that already ended on its own.
+func (e *Engine) Drain() error {
+	e.sessMu.Lock()
+	s := e.sess
+	if s == nil {
+		s = e.lastSess
+	}
+	e.sessMu.Unlock()
+	if s == nil {
+		return fmt.Errorf("engine: no session started")
+	}
+	s.drainMu.Do(func() { close(s.drainCh) })
+	<-s.done
+	return s.err
+}
+
+// Wait blocks until the current session ends (feed drained, context
+// cancelled, or Drain) and returns its error.
+func (e *Engine) Wait() error {
+	e.sessMu.Lock()
+	s := e.sess
+	if s == nil {
+		s = e.lastSess
+	}
+	e.sessMu.Unlock()
+	if s == nil {
+		return fmt.Errorf("engine: no session started")
+	}
+	<-s.done
+	return s.err
+}
+
+// SessionActive reports whether a session is currently pumping.
+func (e *Engine) SessionActive() bool {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	return e.sess != nil
+}
+
+// do posts fn to the pump and waits for the reply.
+func (s *session) do(fn func() (any, error)) (any, error) {
+	c := &sessCmd{fn: fn, resp: make(chan cmdResult, 1)}
+	select {
+	case s.cmds <- c:
+	case <-s.done:
+		return nil, ErrSessionClosed
+	}
+	select {
+	case r := <-c.resp:
+		return r.v, r.err
+	case <-s.done:
+		// finish drains the queue, so a reply (possibly the refusal)
+		// is guaranteed.
+		r := <-c.resp
+		return r.v, r.err
+	}
+}
+
+// cmdPending reports queued commands; the pump polls it to bound install
+// latency while the feed is paced or the ring is filling.
+func (s *session) cmdPending() bool { return len(s.cmds) > 0 }
+
+// drained reports whether Drain was requested.
+func (s *session) drained() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// applyCommands runs every queued Install/Uninstall at a safe boundary
+// (ring drained, all nodes settled) and settles queries failed by OnRow
+// errors. Pump goroutine only.
+func (s *session) applyCommands() {
+	for {
+		select {
+		case c := <-s.cmds:
+			v, err := c.fn()
+			c.resp <- cmdResult{v: v, err: err}
+		default:
+			if s.pendingFails.Swap(0) != 0 {
+				s.e.settleFailedHandles()
+			}
+			return
+		}
+	}
+}
+
+// pace holds the pump until packet timestamp ts is due under the
+// session's speedup, returning true when it had to wait (the pump is at
+// the paced live edge, so buffered rows should drain now). It returns
+// early when a command is pending (slightly early admission beats a
+// stalled Install) and when the session is draining or cancelled.
+func (s *session) pace(ts uint64) bool {
+	if s.speedup <= 0 {
+		return false
+	}
+	if !s.sawBase {
+		s.sawBase = true
+		s.baseTS = ts
+		s.startWall = time.Now()
+		return true
+	}
+	target := time.Duration(float64(ts-s.baseTS) / s.speedup)
+	waited := false
+	for {
+		wait := target - time.Since(s.startWall)
+		if wait <= 0 || s.cmdPending() || s.drained() {
+			return waited
+		}
+		waited = true
+		select {
+		case <-s.ctxDone:
+			return true
+		case <-s.drainCh:
+			return true
+		case <-time.After(min(wait, 2*time.Millisecond)):
+		}
+	}
+}
+
+// Install compiles src and adds it to the engine as a standing query
+// named name, usable before Start and while the session is live (applied
+// at the next batch boundary). See InstallOptions for the tap-sharing
+// contract. The returned handle delivers the query's output rows.
+func (e *Engine) Install(name, src string, opts InstallOptions) (*QueryHandle, error) {
+	e.sessMu.Lock()
+	s := e.sess
+	e.sessMu.Unlock()
+	if s == nil {
+		if e.runState.Load() != stateIdle {
+			return nil, fmt.Errorf("engine: cannot install during a batch run; use a session")
+		}
+		e.topoMu.Lock()
+		defer e.topoMu.Unlock()
+		return e.install(name, src, opts)
+	}
+	v, err := s.do(func() (any, error) {
+		e.topoMu.Lock()
+		defer e.topoMu.Unlock()
+		return e.install(name, src, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*QueryHandle), nil
+}
+
+// Uninstall removes the named standing query, tearing down its shared
+// tap when it was the last subscriber. Its subscriptions close. Like
+// Install it works before Start and while the session is live.
+func (e *Engine) Uninstall(name string) error {
+	e.sessMu.Lock()
+	s := e.sess
+	e.sessMu.Unlock()
+	if s == nil {
+		if e.runState.Load() != stateIdle {
+			return fmt.Errorf("engine: cannot uninstall during a batch run; use a session")
+		}
+		e.topoMu.Lock()
+		defer e.topoMu.Unlock()
+		return e.uninstall(name)
+	}
+	_, err := s.do(func() (any, error) {
+		e.topoMu.Lock()
+		defer e.topoMu.Unlock()
+		return nil, e.uninstall(name)
+	})
+	return err
+}
+
+// install applies one installation. Caller holds topoMu; runs on the
+// pump goroutine (live session) or the caller's (idle engine).
+func (e *Engine) install(name, src string, opts InstallOptions) (*QueryHandle, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: query name must not be empty")
+	}
+	if _, ok := e.handles[name]; ok {
+		return nil, fmt.Errorf("engine: query %q already installed", name)
+	}
+	parsed, err := gsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	reg := sfunlib.Default(opts.Seed)
+	h := &QueryHandle{e: e, name: name, buf: opts.Buffer, block: opts.Block, onRow: opts.OnRow}
+	if h.buf <= 0 {
+		h.buf = 256
+	}
+	if strings.EqualFold(parsed.From, trace.Schema().Name()) {
+		if opts.Via != "" {
+			return nil, fmt.Errorf("engine: query %q reads PKT directly; Via requires FROM <tap>", name)
+		}
+		plan, err := gsql.Analyze(parsed, trace.Schema(), reg)
+		if err != nil {
+			return nil, err
+		}
+		h.node, err = e.AddLowLevel(name, plan)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		t, err := e.resolveTap(parsed.From, opts.Via, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := gsql.Analyze(parsed, t.node.Schema(), reg)
+		if err != nil {
+			e.releaseTap(t)
+			return nil, err
+		}
+		h.node, err = e.AddHighLevel(name, t.node, plan)
+		if err != nil {
+			e.releaseTap(t)
+			return nil, err
+		}
+		h.tap = t
+	}
+	h.cols = h.node.plan.SelectNames
+	if p := e.prof.Load(); p != nil {
+		h.node.prof = p.Node(name)
+		h.node.op.SetProfile(h.node.prof)
+	}
+	h.node.Subscribe(h.deliver)
+	e.handles[name] = h
+	e.installs.Add(1)
+	e.syncSessionMetrics()
+	return h, nil
+}
+
+// resolveTap finds or creates the shared low-level node named from. A new
+// tap starts with zero subscriber refs; the caller increments on success
+// or releases on failure.
+func (e *Engine) resolveTap(from, via string, seed uint64) (*tap, error) {
+	key := strings.ToLower(from)
+	if t, ok := e.taps[key]; ok {
+		if via != "" {
+			canon, err := canonicalVia(via, seed)
+			if err != nil {
+				return nil, err
+			}
+			if canon != t.key {
+				return nil, fmt.Errorf("engine: tap %q already installed with a different Via query", from)
+			}
+		}
+		t.refs++
+		return t, nil
+	}
+	if via == "" {
+		return nil, fmt.Errorf("engine: query reads %q but no such tap is installed (supply InstallOptions.Via)", from)
+	}
+	vparsed, err := gsql.Parse(via)
+	if err != nil {
+		return nil, fmt.Errorf("engine: via query: %w", err)
+	}
+	if !strings.EqualFold(vparsed.From, trace.Schema().Name()) {
+		return nil, fmt.Errorf("engine: via query must read PKT, got %q", vparsed.From)
+	}
+	vplan, err := gsql.Analyze(vparsed, trace.Schema(), sfunlib.Default(seed))
+	if err != nil {
+		return nil, fmt.Errorf("engine: via query: %w", err)
+	}
+	node, err := e.AddLowLevel(from, vplan)
+	if err != nil {
+		return nil, err
+	}
+	t := &tap{name: from, node: node, key: vplan.Describe(), refs: 1}
+	e.taps[key] = t
+	return t, nil
+}
+
+// canonicalVia renders a via query's canonical plan for conflict checks.
+func canonicalVia(via string, seed uint64) (string, error) {
+	vparsed, err := gsql.Parse(via)
+	if err != nil {
+		return "", fmt.Errorf("engine: via query: %w", err)
+	}
+	if !strings.EqualFold(vparsed.From, trace.Schema().Name()) {
+		return "", fmt.Errorf("engine: via query must read PKT, got %q", vparsed.From)
+	}
+	vplan, err := gsql.Analyze(vparsed, trace.Schema(), sfunlib.Default(seed))
+	if err != nil {
+		return "", fmt.Errorf("engine: via query: %w", err)
+	}
+	return vplan.Describe(), nil
+}
+
+// releaseTap drops one subscriber ref, tearing the tap's node down at
+// zero. Caller holds topoMu.
+func (e *Engine) releaseTap(t *tap) {
+	t.refs--
+	if t.refs > 0 {
+		return
+	}
+	e.removeLowNode(t.node)
+	delete(e.taps, strings.ToLower(t.name))
+}
+
+// uninstall applies one removal. Caller holds topoMu.
+func (e *Engine) uninstall(name string) error {
+	h, ok := e.handles[name]
+	if !ok {
+		return fmt.Errorf("engine: no query named %q", name)
+	}
+	if t := h.tap; t != nil {
+		// High-level node: detach from the tap, then drop the tap ref.
+		for i, sub := range t.node.subs {
+			if sub == h.node {
+				t.node.subs = append(t.node.subs[:i], t.node.subs[i+1:]...)
+				break
+			}
+		}
+		for i, n := range e.high {
+			if n == h.node {
+				e.high = append(e.high[:i], e.high[i+1:]...)
+				break
+			}
+		}
+		delete(e.names, name)
+		e.releaseTap(t)
+	} else {
+		e.removeLowNode(h.node)
+	}
+	delete(e.handles, name)
+	h.closeSubs(true)
+	e.uninstalls.Add(1)
+	e.syncSessionMetrics()
+	return nil
+}
+
+// removeLowNode splices one low-level node out of the topology and frees
+// its name for reuse. Caller holds topoMu.
+func (e *Engine) removeLowNode(n *Node) {
+	for i, low := range e.low {
+		if low == n {
+			e.low = append(e.low[:i], e.low[i+1:]...)
+			break
+		}
+	}
+	delete(e.names, n.name)
+}
+
+// settleFailedHandles converts OnRow-errored queries into contained node
+// failures at a safe boundary (the pump stops feeding them afterwards).
+func (e *Engine) settleFailedHandles() {
+	e.topoMu.RLock()
+	var fails []*QueryHandle
+	for _, h := range e.handles {
+		if h.failedFlag.Load() && !h.node.failed {
+			fails = append(fails, h)
+		}
+	}
+	e.topoMu.RUnlock()
+	for _, h := range fails {
+		e.failNode(h.node, fmt.Sprintf("subscriber error: %v", h.Err()), nil)
+	}
+}
+
+// syncSessionMetrics mirrors the session bookkeeping into gauges. Caller
+// holds topoMu (any mode).
+func (e *Engine) syncSessionMetrics() {
+	if e.tel == nil {
+		return
+	}
+	r := e.tel.Registry()
+	r.Gauge("streamop_session_queries", "standing queries currently installed").Set(float64(len(e.handles)))
+	r.Gauge("streamop_session_taps", "shared low-level tap nodes currently installed").Set(float64(len(e.taps)))
+	r.Gauge("streamop_session_installs", "queries installed over the engine's lifetime").Set(float64(e.installs.Load()))
+	r.Gauge("streamop_session_uninstalls", "queries uninstalled over the engine's lifetime").Set(float64(e.uninstalls.Load()))
+}
+
+// Installed returns the current query handles, sorted by name.
+func (e *Engine) Installed() []*QueryHandle {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	out := make([]*QueryHandle, 0, len(e.handles))
+	for _, h := range e.handles {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Lookup returns the handle of the named installed query, nil when
+// absent.
+func (e *Engine) Lookup(name string) *QueryHandle {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return e.handles[name]
+}
+
+// TapCount returns the number of shared low-level tap nodes installed.
+func (e *Engine) TapCount() int {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return len(e.taps)
+}
+
+// QueryHandle is one installed standing query: the subscription hub for
+// its output rows plus introspection over its plan and counters.
+type QueryHandle struct {
+	e     *Engine
+	name  string
+	node  *Node
+	tap   *tap
+	cols  []string
+	buf   int
+	block bool
+	onRow func(tuple.Tuple) error
+
+	rowsOut    atomic.Int64
+	dropped    atomic.Uint64
+	failedFlag atomic.Bool
+	errv       atomic.Pointer[error]
+
+	mu      sync.Mutex
+	subs    []*Subscription
+	retired bool
+}
+
+// Name returns the query's installed name.
+func (h *QueryHandle) Name() string { return h.name }
+
+// Columns returns the query's output column names.
+func (h *QueryHandle) Columns() []string { return h.cols }
+
+// Via returns the name of the shared tap the query reads, "" when the
+// query is its own low-level node.
+func (h *QueryHandle) Via() string {
+	if h.tap == nil {
+		return ""
+	}
+	return h.tap.name
+}
+
+// Explain renders the query's compiled plan (the EXPLAIN output).
+func (h *QueryHandle) Explain() string { return h.node.plan.Describe() }
+
+// RowsOut returns the number of output rows delivered so far.
+func (h *QueryHandle) RowsOut() int64 { return h.rowsOut.Load() }
+
+// Dropped returns rows dropped across all subscriptions (drop policy).
+func (h *QueryHandle) Dropped() uint64 {
+	n := h.dropped.Load()
+	h.mu.Lock()
+	for _, s := range h.subs {
+		n += s.dropped.Load()
+	}
+	h.mu.Unlock()
+	return n
+}
+
+// Subscribers returns the number of live subscriptions.
+func (h *QueryHandle) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Err returns the error that failed this query (an OnRow error or a
+// contained operator panic), nil while healthy.
+func (h *QueryHandle) Err() error {
+	if p := h.errv.Load(); p != nil {
+		return *p
+	}
+	for _, f := range h.e.Failures() {
+		if f.Node == h.name {
+			return errors.New(f.Msg)
+		}
+	}
+	return nil
+}
+
+// deliver is the node application callback: it never returns an error
+// (a subscriber problem must not abort the shared session).
+func (h *QueryHandle) deliver(row tuple.Tuple) error {
+	h.rowsOut.Add(1)
+	if h.onRow != nil && !h.failedFlag.Load() {
+		if err := h.onRow(row); err != nil {
+			e := fmt.Errorf("engine: query %q: %w", h.name, err)
+			h.errv.Store(&e)
+			h.failedFlag.Store(true)
+			h.e.sessMu.Lock()
+			s := h.e.sess
+			h.e.sessMu.Unlock()
+			if s != nil {
+				s.pendingFails.Add(1)
+			}
+		}
+	}
+	h.mu.Lock()
+	subs := h.subs
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.offer(row, h.block)
+	}
+	return nil
+}
+
+// closeSubs ends every subscription; retire additionally marks the
+// handle dead so later Subscribe calls return closed subscriptions.
+func (h *QueryHandle) closeSubs(retire bool) {
+	h.mu.Lock()
+	subs := h.subs
+	h.subs = nil
+	if retire {
+		h.retired = true
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		close(s.ch)
+	}
+}
+
+// Subscribe returns a new subscription to the query's output rows. Rows
+// buffered beyond the query's InstallOptions.Buffer are handled by its
+// overflow policy. The channel closes when the query is uninstalled or
+// the session ends.
+func (h *QueryHandle) Subscribe() *Subscription {
+	s := &Subscription{h: h, ch: make(chan tuple.Tuple, h.buf), closed: make(chan struct{})}
+	h.mu.Lock()
+	dead := h.retired
+	if !dead {
+		h.subs = append(h.subs, s)
+	}
+	h.mu.Unlock()
+	if dead {
+		close(s.ch)
+	}
+	return s
+}
+
+// Rows is a convenience wrapper: it subscribes and yields rows until ctx
+// is cancelled, the consumer breaks, the query is uninstalled, or the
+// session ends.
+func (h *QueryHandle) Rows(ctx context.Context) func(yield func(tuple.Tuple) bool) {
+	return func(yield func(tuple.Tuple) bool) {
+		s := h.Subscribe()
+		defer s.Close()
+		done := ctx.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case row, ok := <-s.ch:
+				if !ok || !yield(row) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Subscription is one bounded stream of a query's output rows. Receive
+// from C(); the channel closes when the query is uninstalled or the
+// session ends. Each subscriber gets its own copy of every row.
+type Subscription struct {
+	h         *QueryHandle
+	ch        chan tuple.Tuple
+	closed    chan struct{}
+	closeOnce sync.Once
+	dropped   atomic.Uint64
+}
+
+// C returns the subscription's row channel.
+func (s *Subscription) C() <-chan tuple.Tuple { return s.ch }
+
+// Dropped returns rows this subscription lost to the drop policy.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription: the pump stops delivering to it and
+// drops it from the query's subscriber list. Safe to call from any
+// goroutine, any number of times. The row channel is NOT closed by Close
+// (the pump owns it); consumers ranging over C() should select on their
+// own context instead.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		h := s.h
+		h.mu.Lock()
+		for i, other := range h.subs {
+			if other == s {
+				h.subs = append(h.subs[:i], h.subs[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+	})
+}
+
+// offer delivers one row under the overflow policy. Pump goroutine only.
+func (s *Subscription) offer(row tuple.Tuple, block bool) {
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	r := row.Clone()
+	select {
+	case s.ch <- r:
+		return
+	default:
+	}
+	if block {
+		select {
+		case s.ch <- r:
+		case <-s.closed:
+		}
+		return
+	}
+	// Drop-oldest: evict one buffered row, then retry once; a consumer
+	// racing us may have freed space either way.
+	select {
+	case <-s.ch:
+		s.dropped.Add(1)
+	default:
+	}
+	select {
+	case s.ch <- r:
+	default:
+		s.dropped.Add(1)
+	}
+}

@@ -30,8 +30,12 @@ type sourceMetrics struct {
 
 // SetCollector attaches a telemetry collector to the engine and to every
 // node registered so far and afterwards; node metrics are labeled with the
-// node name. A nil collector detaches.
-func (e *Engine) SetCollector(c *telemetry.Collector) {
+// node name. A nil collector detaches. It errors if a run or session is
+// already active (reconfiguring a live engine raced with the pump).
+func (e *Engine) SetCollector(c *telemetry.Collector) error {
+	if err := e.setterGuard("SetCollector"); err != nil {
+		return err
+	}
 	if c == nil || !c.Enabled() {
 		e.tel, e.sm = nil, nil
 		for _, n := range e.Nodes() {
@@ -40,7 +44,7 @@ func (e *Engine) SetCollector(c *telemetry.Collector) {
 				n.op.SetCollector(nil, "")
 			}
 		}
-		return
+		return nil
 	}
 	e.tel = c
 	r := c.Registry()
@@ -54,6 +58,7 @@ func (e *Engine) SetCollector(c *telemetry.Collector) {
 		e.instrumentNode(n)
 	}
 	e.registerDebug(c)
+	return nil
 }
 
 // Collector returns the engine's collector (nil when uninstrumented).
@@ -106,7 +111,7 @@ func (e *Engine) syncSourceRing() {
 	e.sm.occ.Set(float64(e.ring.Len()))
 	e.sm.drops.Set(float64(e.ring.Drops()))
 	e.sm.peak.Set(float64(e.RingPeak()))
-	e.sm.packets.Set(float64(e.packets))
+	e.sm.packets.Set(float64(e.packets.Load()))
 }
 
 // noteRingPeak records the source ring's high-water mark (tracked

@@ -23,12 +23,17 @@ import (
 // disposition per trace); RunParallel ignores tracing entirely.
 
 // SetTracer attaches tr to the engine and to every node registered so far
-// and afterwards. A nil tracer detaches.
-func (e *Engine) SetTracer(tr *tracing.Tracer) {
+// and afterwards. A nil tracer detaches. It errors once a run or session
+// is active.
+func (e *Engine) SetTracer(tr *tracing.Tracer) error {
+	if err := e.setterGuard("SetTracer"); err != nil {
+		return err
+	}
 	e.tr = tr
 	for _, n := range e.Nodes() {
 		n.attachTracer(tr)
 	}
+	return nil
 }
 
 // Tracer returns the engine's tracer, nil when tracing is off.

@@ -138,6 +138,30 @@ type NodeStats = engine.NodeStats
 // packets.
 func NewEngine(ringSize int) (*Engine, error) { return engine.New(ringSize) }
 
+// Standing-query sessions (see docs/SERVER.md): Engine.Start pumps a
+// feed on a background goroutine while Install and Uninstall add and
+// remove queries mid-stream. Queries whose FROM is not PKT name a shared
+// low-level "tap" — created from InstallOptions.Via on first use,
+// deduplicated and refcounted across every query that reads it.
+
+// StartOptions configures a standing-query session (Engine.StartWith).
+type StartOptions = engine.StartOptions
+
+// InstallOptions configures one standing query (Engine.Install).
+type InstallOptions = engine.InstallOptions
+
+// QueryHandle is one installed standing query: its columns, compiled
+// plan (Explain), delivery counters and row subscriptions.
+type QueryHandle = engine.QueryHandle
+
+// Subscription is one subscriber's buffered row channel on a
+// QueryHandle; see QueryHandle.Subscribe and QueryHandle.Rows.
+type Subscription = engine.Subscription
+
+// ErrSessionClosed is returned by Install/Uninstall routed to a session
+// that has already drained.
+var ErrSessionClosed = engine.ErrSessionClosed
+
 // Overload control and fault injection (see docs/ROBUSTNESS.md).
 
 // OverloadPolicy selects how a producer treats a ring buffer under

@@ -1,8 +1,10 @@
 package streamop_test
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"streamop"
 )
@@ -240,5 +242,70 @@ func TestPublicMergeAndFlood(t *testing.T) {
 	}
 	if attack < 800 {
 		t.Errorf("attack packets = %d", attack)
+	}
+}
+
+// TestPublicSession exercises the standing-query surface end to end
+// through the facade: Start a session over a live feed, Install a tap
+// plus two queries against it, stream rows from a Subscription and the
+// Rows iterator, Uninstall one mid-stream, and Drain.
+func TestPublicSession(t *testing.T) {
+	e, err := streamop.NewEngine(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := streamop.NewSteadyFeed(streamop.SteadyConfig{Seed: 1, Duration: 5, Rate: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartWith(context.Background(), feed, streamop.StartOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := e.Install("heavy", "SELECT srcIP, len FROM tap", streamop.InstallOptions{
+		Via: "SELECT time, srcIP, len, uts FROM PKT WHERE len >= 1500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Explain() == "" || len(heavy.Columns()) != 2 {
+		t.Fatalf("handle = %v %q", heavy.Columns(), heavy.Explain())
+	}
+	other, err := e.Install("other", "SELECT len FROM tap", streamop.InstallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TapCount() != 1 {
+		t.Fatalf("TapCount = %d, want 1 (deduplicated)", e.TapCount())
+	}
+	sub := heavy.Subscribe()
+	select {
+	case row := <-sub.C():
+		if len(row) != 2 {
+			t.Fatalf("row = %v", row)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no rows on subscription")
+	}
+	sub.Close()
+	got := 0
+	for range other.Rows(context.Background()) {
+		if got++; got == 3 {
+			break
+		}
+	}
+	if got != 3 {
+		t.Fatalf("iterator rows = %d", got)
+	}
+	if err := e.Uninstall("other"); err != nil {
+		t.Fatal(err)
+	}
+	if names := e.Installed(); len(names) != 1 {
+		t.Fatalf("Installed = %d", len(names))
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Install("late", "SELECT len FROM tap", streamop.InstallOptions{}); err != nil {
+		t.Fatalf("idle install after drain: %v", err)
 	}
 }
