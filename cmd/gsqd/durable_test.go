@@ -1,0 +1,323 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"streamop/internal/checkpoint"
+)
+
+// TestServerErrorCodes pins the HTTP error contract: state conflicts are
+// 409, unknown names 404, malformed requests 400 with the engine's error
+// (including GSQL parse messages) in the JSON body. (The 503 mid-drain
+// mapping is not table-testable: once Drain completes the engine is idle
+// again and installs legally succeed, so ErrSessionClosed only surfaces
+// in the transient shutdown window.)
+func TestServerErrorCodes(t *testing.T) {
+	_, base := newTestServer(t, &testFeed{passEvery: 10, throttle: time.Millisecond})
+
+	// Seed a query for the duplicate and uninstall cases.
+	if resp, body := postJSON(t, base+"/queries", installRequest{
+		Name: "seeded", Query: "SELECT len FROM tap", Via: testVia,
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed install = %d: %v", resp.StatusCode, body)
+	}
+
+	cases := []struct {
+		name    string
+		method  string
+		path    string
+		body    string
+		want    int
+		wantErr string // substring the JSON "error" field must contain
+	}{
+		{"malformed JSON body", http.MethodPost, "/queries",
+			`{"name": "x",`, http.StatusBadRequest, "decoding install request"},
+		{"missing name and query", http.MethodPost, "/queries",
+			`{"via": "whatever"}`, http.StatusBadRequest, `needs "name" and "query"`},
+		{"bad GSQL text", http.MethodPost, "/queries",
+			`{"name": "p", "query": "SELECT FROM WHERE"}`, http.StatusBadRequest, ""},
+		{"unknown column", http.MethodPost, "/queries",
+			`{"name": "p", "query": "SELECT nosuchcol FROM tap"}`, http.StatusBadRequest, "nosuchcol"},
+		{"invalid quota", http.MethodPost, "/queries",
+			`{"name": "p", "query": "SELECT len FROM tap", "quota": {"rows_per_sec": -5}}`,
+			http.StatusBadRequest, "quota"},
+		{"duplicate install", http.MethodPost, "/queries",
+			`{"name": "seeded", "query": "SELECT len FROM tap"}`, http.StatusConflict, "already installed"},
+		{"uninstall unknown", http.MethodDelete, "/queries/ghost",
+			"", http.StatusNotFound, "no such query"},
+		{"get unknown", http.MethodGet, "/queries/ghost",
+			"", http.StatusNotFound, "no query named"},
+		{"rows for unknown", http.MethodGet, "/queries/ghost/rows",
+			"", http.StatusNotFound, "no query named"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, base+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			var body map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error response is not JSON: %v", err)
+			}
+			if body["error"] == "" {
+				t.Fatal("error response has no \"error\" field")
+			}
+			if tc.wantErr != "" && !strings.Contains(body["error"], tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", body["error"], tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestServerSSEDisconnectLeaksNothing is the goroutine-leak regression
+// test for the SSE path: clients that vanish mid-stream — including one
+// subscribed to a Block query the pump is backpressuring into — must not
+// leave handler goroutines or subscriptions behind.
+func TestServerSSEDisconnectLeaksNothing(t *testing.T) {
+	sv, base := newTestServer(t, &testFeed{passEvery: 4, throttle: 200 * time.Microsecond})
+	client := &http.Client{}
+
+	if resp, body := postJSON(t, base+"/queries", installRequest{
+		Name: "drops", Query: "SELECT srcIP, len FROM tap", Via: testVia, Buffer: 8,
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install drops = %d: %v", resp.StatusCode, body)
+	}
+	// A Block query with a tiny buffer: an unread SSE client makes the
+	// pump block inside delivery, the worst place to lose the client.
+	if resp, body := postJSON(t, base+"/queries", installRequest{
+		Name: "blocky", Query: "SELECT srcIP, len FROM tap", Buffer: 2, Block: true,
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install blocky = %d: %v", resp.StatusCode, body)
+	}
+
+	before := runtime.NumGoroutine()
+	for round := 0; round < 8; round++ {
+		// Drop-policy stream: read one row, then vanish.
+		resp, err := client.Get(base + "/queries/drops/rows")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+
+		// Block-policy stream: never read a byte, let the pump fill the
+		// buffer and block, then vanish mid-backpressure.
+		ctx, cancel := context.WithCancel(context.Background())
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/queries/blocky/rows", nil)
+		resp, err = client.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond) // let the pump wedge on the full buffer
+		cancel()
+		resp.Body.Close()
+	}
+	client.CloseIdleConnections()
+
+	// Subscriptions must drain to zero and goroutines back to baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		subs := sv.e.Lookup("drops").Subscribers() + sv.e.Lookup("blocky").Subscribers()
+		after := runtime.NumGoroutine()
+		if subs == 0 && after <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after SSE disconnects: %d subscriptions, goroutines %d -> %d",
+				subs, before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sv.e.SessionActive() {
+		t.Fatal("session died during SSE churn")
+	}
+}
+
+// TestServerRestartRecovery is the daemon-level durability contract: a
+// gsqd with -state-dir that dies (session cancelled, process state gone)
+// comes back with every standing query re-installed from disk, the
+// packet counter advanced past the snapshot, and rows flowing again.
+func TestServerRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		Feed: "steady", Duration: 0.01, Seed: 1, Ring: 1024, Buffer: 64,
+		StateDir: dir, CheckpointEvery: 1, CheckpointKeep: 10,
+	}
+
+	// First life: install two queries (one quota'd), see rows, then die.
+	sv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv1.restored != nil {
+		t.Fatalf("fresh state dir claims a restore: %+v", sv1.restored)
+	}
+	sv1.feed = &testFeed{passEvery: 10, throttle: time.Millisecond}
+	ctx, kill := context.WithCancel(context.Background())
+	if err := sv1.start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(sv1.mux)
+	if resp, body := postJSON(t, ts1.URL+"/queries", installRequest{
+		Name: "heavy", Query: "SELECT srcIP, len FROM tap", Via: testVia,
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install = %d: %v", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts1.URL+"/queries", installRequest{
+		Name: "budgeted", Query: "SELECT len FROM tap",
+		Quota: &quotaRequest{RowsPerSec: 50, WarnLag: 8, DetachAfter: 64},
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install budgeted = %d: %v", resp.StatusCode, body)
+	}
+	if rows := sseRows(t, ts1.URL, "heavy", 3); len(rows) != 3 {
+		t.Fatalf("pre-crash rows = %d", len(rows))
+	}
+	kill() // the daemon dies mid-session
+	if err := sv1.e.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	rowsBefore := sv1.e.Lookup("heavy").RowsOut()
+	ts1.Close()
+
+	// Second life: same -state-dir, fresh process state.
+	sv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv2.restored == nil {
+		t.Fatal("restart with a populated state dir restored nothing")
+	}
+	if len(sv2.restored.Queries) != 2 {
+		t.Fatalf("recovered queries = %v, want [heavy budgeted]", sv2.restored.Queries)
+	}
+	if got := sv2.e.Lookup("heavy").RowsOut(); got > rowsBefore || got == 0 {
+		t.Fatalf("recovered rowsOut = %d, want in (0, %d] (snapshot precedes the kill)", got, rowsBefore)
+	}
+	bq := sv2.e.Lookup("budgeted")
+	if bq == nil {
+		t.Fatal("quota'd query not recovered")
+	}
+	if q := bq.Quota(); q.Rows != 50 || q.DetachAfter != 64 {
+		t.Fatalf("recovered quota = %+v", q)
+	}
+	sv2.feed = &testFeed{passEvery: 10, throttle: time.Millisecond}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	if err := sv2.start(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(sv2.mux)
+	defer func() {
+		ts2.Close()
+		cancel2()
+		_ = sv2.e.Drain()
+	}()
+
+	var health map[string]any
+	getJSON(t, ts2.URL+"/healthz", &health)
+	if health["queries"] != float64(2) || health["session_active"] != true {
+		t.Fatalf("post-restart healthz = %v", health)
+	}
+	if rec, ok := health["recovered_queries"].([]any); !ok || len(rec) != 2 {
+		t.Fatalf("healthz recovered_queries = %v", health["recovered_queries"])
+	}
+	// The recovered queries produce rows again, over a fresh SSE stream.
+	if rows := sseRows(t, ts2.URL, "heavy", 3); len(rows) != 3 {
+		t.Fatalf("post-restart rows = %d", len(rows))
+	}
+	var one queryInfo
+	if resp := getJSON(t, ts2.URL+"/queries/budgeted", &one); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get budgeted = %d", resp.StatusCode)
+	}
+	if one.Quota == nil || one.Quota.RowsPerSec != 50 {
+		t.Fatalf("budgeted query info lost its quota: %+v", one)
+	}
+}
+
+// TestServerRestartCorruptSnapshot: a torn newest snapshot (the kill -9
+// case) falls back to the previous valid one instead of refusing to boot.
+func TestServerRestartCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		Feed: "steady", Duration: 0.01, Seed: 1, Ring: 1024, Buffer: 64,
+		StateDir: dir, CheckpointEvery: 1, CheckpointKeep: 10,
+	}
+	sv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv1.feed = &testFeed{passEvery: 10, throttle: time.Millisecond}
+	ctx, kill := context.WithCancel(context.Background())
+	if err := sv1.start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(sv1.mux)
+	if resp, body := postJSON(t, ts1.URL+"/queries", installRequest{
+		Name: "heavy", Query: "SELECT srcIP, len FROM tap", Via: testVia,
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install = %d: %v", resp.StatusCode, body)
+	}
+	sseRows(t, ts1.URL, "heavy", 5) // several windows close, several snapshots land
+	kill()
+	if err := sv1.e.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	corruptNewestSnapshot(t, dir)
+
+	sv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("restart after torn snapshot: %v", err)
+	}
+	if sv2.restored == nil || len(sv2.restored.Queries) != 1 {
+		t.Fatalf("fallback restore = %+v", sv2.restored)
+	}
+}
+
+// corruptNewestSnapshot flips one byte in the middle of the newest
+// snapshot file, simulating a write torn by kill -9.
+func corruptNewestSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	names, err := checkpoint.List(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("need >= 2 snapshots to corrupt the newest (have %d, err %v)", len(names), err)
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

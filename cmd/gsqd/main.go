@@ -26,17 +26,28 @@
 //	                            telemetry surface, same listener
 //
 // Install payload: {"name": ..., "query": ..., "via": ..., "buffer": N,
-// "block": bool, "seed": N}. A query whose FROM is PKT runs as its own
-// low-level node; any other FROM names a shared low-level tap, created
-// from "via" (a query reading PKT) on first use and refcounted across
-// every subscriber — install a thousand tenants over one tap and the
-// packet stream is still scanned once. See docs/SERVER.md.
+// "block": bool, "seed": N, "quota": {...}}. A query whose FROM is PKT
+// runs as its own low-level node; any other FROM names a shared
+// low-level tap, created from "via" (a query reading PKT) on first use
+// and refcounted across every subscriber — install a thousand tenants
+// over one tap and the packet stream is still scanned once. The optional
+// "quota" object is the tenant's admission budget and subscriber-lag
+// policy (docs/ROBUSTNESS.md). See docs/SERVER.md.
 //
 // The feed replays one of the synthetic taps (-feed, -duration, -seed)
 // paced by -speedup (0 = as fast as possible), looping forever by
 // default (-loop=false drains once and keeps serving). SIGINT/SIGTERM
 // drains the session gracefully — open windows flush to their
 // subscribers — then stops the listener.
+//
+// With -state-dir the session is durable: the engine snapshots the
+// standing-query registry and every operator's state at pump boundaries,
+// and a restarting gsqd (clean exit or kill -9) re-installs every query
+// and resumes its window state from the newest valid snapshot. Recovery
+// is bit-identical when the feed flags (-feed/-seed/-duration) are
+// unchanged, because the synthetic feeds replay deterministically and
+// the engine fast-forwards past the packets the snapshot already
+// absorbed. SSE subscribers reconnect; they are connections, not state.
 package main
 
 import (
@@ -52,7 +63,9 @@ import (
 	"syscall"
 	"time"
 
+	"streamop/internal/checkpoint"
 	"streamop/internal/engine"
+	"streamop/internal/overload"
 	"streamop/internal/telemetry"
 	"streamop/internal/trace"
 	"streamop/internal/tuple"
@@ -70,6 +83,16 @@ type config struct {
 	Speedup  float64 // -speedup: pacing factor (0 = unpaced)
 	Loop     bool    // -loop: regenerate the feed when it drains
 	Buffer   int     // -buffer: default per-subscription row buffer
+
+	// StateDir makes the session durable: snapshots land here and a
+	// restart recovers the registry and operator state from the newest
+	// valid one. Empty = ephemeral session (the old behavior).
+	StateDir string // -state-dir
+	// CheckpointEvery is the snapshot cadence in closed windows (the
+	// registry additionally snapshots whenever an install or uninstall
+	// lands). CheckpointKeep bounds the on-disk history.
+	CheckpointEvery int64 // -checkpoint-every
+	CheckpointKeep  int   // -checkpoint-keep
 }
 
 func main() {
@@ -82,6 +105,9 @@ func main() {
 	flag.Float64Var(&cfg.Speedup, "speedup", 1, "pace the feed at this multiple of capture time (0 = as fast as possible)")
 	flag.BoolVar(&cfg.Loop, "loop", true, "regenerate the feed when it drains, so the tap never ends")
 	flag.IntVar(&cfg.Buffer, "buffer", 256, "default per-subscription row buffer (overridable per install)")
+	flag.StringVar(&cfg.StateDir, "state-dir", "", "durable-session snapshot directory (empty = ephemeral session)")
+	flag.Int64Var(&cfg.CheckpointEvery, "checkpoint-every", 4, "snapshot every N closed windows (with -state-dir)")
+	flag.IntVar(&cfg.CheckpointKeep, "checkpoint-keep", 8, "snapshots retained on disk (with -state-dir)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gsqd:", err)
@@ -141,6 +167,9 @@ type server struct {
 	col  *telemetry.Collector
 	feed trace.Feed
 	mux  *http.ServeMux
+	// restored describes what a durable restart recovered (nil on a
+	// fresh start or without -state-dir); surfaced in /healthz.
+	restored *engine.SessionRestoreInfo
 }
 
 func newServer(cfg config) (*server, error) {
@@ -158,11 +187,32 @@ func newServer(cfg config) (*server, error) {
 	if err := e.SetCollector(col); err != nil {
 		return nil, err
 	}
+	sv := &server{cfg: cfg, e: e, col: col}
+	if cfg.StateDir != "" {
+		if err := e.SetCheckpoint(engine.CheckpointConfig{
+			Dir:          cfg.StateDir,
+			EveryWindows: cfg.CheckpointEvery,
+			Keep:         cfg.CheckpointKeep,
+		}); err != nil {
+			return nil, fmt.Errorf("state dir: %w", err)
+		}
+		info, err := e.RestoreSession()
+		switch {
+		case err == nil:
+			sv.restored = info
+			fmt.Fprintf(os.Stderr, "gsqd: recovered %d queries, %d taps, %d packets from %s\n",
+				len(info.Queries), len(info.Taps), info.Packets, info.Path)
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Empty state dir: a fresh durable session.
+		default:
+			return nil, fmt.Errorf("restoring session state: %w", err)
+		}
+	}
 	feed, err := openFeed(cfg)
 	if err != nil {
 		return nil, err
 	}
-	sv := &server{cfg: cfg, e: e, col: col, feed: feed}
+	sv.feed = feed
 	sv.routes()
 	return sv, nil
 }
@@ -206,6 +256,37 @@ type installRequest struct {
 	Block bool `json:"block,omitempty"`
 	// Seed seeds the query's stateful functions (sampling operators).
 	Seed uint64 `json:"seed,omitempty"`
+	// Quota is the tenant's admission budget and subscriber-lag policy;
+	// omitted leaves the query unlimited. See docs/ROBUSTNESS.md.
+	Quota *quotaRequest `json:"quota,omitempty"`
+}
+
+// quotaRequest is the "quota" object of an install payload, mirroring
+// overload.Quota field for field.
+type quotaRequest struct {
+	// RowsPerSec / BytesPerSec budget admitted delivery per second of
+	// stream time; <= 0 (or omitted) leaves that axis unlimited.
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	// BurstSec is the bucket depth in seconds of budget (default 1).
+	BurstSec float64 `json:"burst_sec,omitempty"`
+	// WarnLag / DetachAfter drive the subscriber-lag ladder: warn after
+	// this many lost rows, force-detach the subscriber after that many.
+	WarnLag     uint64 `json:"warn_lag,omitempty"`
+	DetachAfter uint64 `json:"detach_after,omitempty"`
+}
+
+func (q *quotaRequest) toQuota() overload.Quota {
+	if q == nil {
+		return overload.Quota{}
+	}
+	return overload.Quota{
+		Rows:        q.RowsPerSec,
+		Bytes:       q.BytesPerSec,
+		BurstSec:    q.BurstSec,
+		WarnLag:     q.WarnLag,
+		DetachAfter: q.DetachAfter,
+	}
 }
 
 // queryInfo is one installed query in GET /queries responses.
@@ -218,6 +299,9 @@ type queryInfo struct {
 	Subscribers int      `json:"subscribers"`
 	Failed      string   `json:"failed,omitempty"`
 	Explain     string   `json:"explain"`
+	// Quota is present when the query carries an admission budget or lag
+	// policy — the same shape /debug/state serves under "quotas".
+	Quota *overload.QuotaSnapshot `json:"quota,omitempty"`
 }
 
 func info(h *engine.QueryHandle) queryInfo {
@@ -233,17 +317,29 @@ func info(h *engine.QueryHandle) queryInfo {
 	if err := h.Err(); err != nil {
 		qi.Failed = err.Error()
 	}
+	if q := h.Quota(); q.Enabled() || q.LagPolicy() {
+		qs := h.QuotaState()
+		qi.Quota = &qs
+	}
 	return qi
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"session_active": s.e.SessionActive(),
 		"queries":        len(s.e.Installed()),
 		"taps":           s.e.TapCount(),
 		"packets":        s.e.Packets(),
-	})
+	}
+	if s.cfg.StateDir != "" {
+		body["state_dir"] = s.cfg.StateDir
+		if s.restored != nil {
+			body["recovered_queries"] = s.restored.Queries
+			body["recovered_packets"] = s.restored.Packets
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -274,9 +370,22 @@ func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		Seed:   req.Seed,
 		Buffer: buffer,
 		Block:  req.Block,
+		Quota:  req.Quota.toQuota(),
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// A name collision is the caller's state conflict (409); a
+		// draining session means the server as a whole is going away
+		// (503); anything else — GSQL parse/analyze errors, a bad quota,
+		// a mismatched via — is a bad request, with the engine's error
+		// (including the parser's position message) in the JSON body.
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, engine.ErrDuplicateQuery):
+			status = http.StatusConflict
+		case errors.Is(err, engine.ErrSessionClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info(h))
@@ -292,13 +401,18 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleUninstall(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if s.e.Lookup(name) == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no query named %q", name))
-		return
-	}
-	if err := s.e.Uninstall(name); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	// No Lookup pre-check: the engine's sentinel is authoritative and
+	// atomic with the removal, where a check-then-act would race a
+	// concurrent uninstall.
+	if err := s.e.Uninstall(r.PathValue("name")); err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, engine.ErrUnknownQuery):
+			status = http.StatusNotFound
+		case errors.Is(err, engine.ErrSessionClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -187,7 +187,7 @@ func TestServerRoutes(t *testing.T) {
 	}
 	if resp, _ := postJSON(t, base+"/queries", installRequest{
 		Name: "heavy", Query: "SELECT len FROM tap",
-	}); resp.StatusCode != http.StatusBadRequest {
+	}); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate install = %d", resp.StatusCode)
 	}
 	if resp, _ := postJSON(t, base+"/queries", installRequest{

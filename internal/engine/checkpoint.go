@@ -70,6 +70,12 @@ type ckptState struct {
 	resumeSkip  int64
 	pendingGate *overload.PersistentState
 
+	// Session durability (durable.go): session selects the session
+	// payload encoding; regDirty forces a snapshot at the next pump
+	// boundary after the standing-query registry changed.
+	session  bool
+	regDirty bool
+
 	// Atomic mirrors for /debug/state (written by the run loop or the
 	// parallel producer, read by the HTTP goroutine).
 	aSeq     atomic.Uint64
@@ -237,7 +243,13 @@ func (e *Engine) maybeCheckpoint() error {
 func (e *Engine) writeCheckpoint() error {
 	ck := e.ckpt
 	start := time.Now()
-	payload, err := e.encodeCheckpoint()
+	var payload []byte
+	var err error
+	if ck.session {
+		payload, err = e.encodeSessionCheckpoint()
+	} else {
+		payload, err = e.encodeCheckpoint()
+	}
 	if err != nil {
 		ck.noteFailure(e.tel)
 		return err
@@ -249,6 +261,7 @@ func (e *Engine) writeCheckpoint() error {
 	}
 	ck.seq = seq
 	ck.lastWindows = e.maxWindows()
+	ck.regDirty = false
 	ck.aSeq.Store(seq)
 	written := ck.aWritten.Add(1)
 	// Pruning is best-effort: a failed unlink never outranks a durable

@@ -187,6 +187,9 @@ func (e *Engine) debugState() map[string]any {
 	if snaps := e.Overload(); len(snaps) > 0 {
 		st["overload"] = snaps
 	}
+	if quotas := e.debugQuotas(); len(quotas) > 0 {
+		st["quotas"] = quotas
+	}
 	if f := e.Failures(); len(f) > 0 {
 		st["failures"] = f
 	}

@@ -321,6 +321,16 @@ func (e *Engine) runSerial(ctx context.Context, feed trace.Feed, s *session) err
 	if err := e.checkpointRunnable(false, 0); err != nil {
 		return err
 	}
+	if ck := e.ckpt; ck != nil {
+		// Sessions snapshot the standing-query registry alongside node
+		// state (see durable.go); regDirty forces a base snapshot at the
+		// first boundary so even a kill right after Start recovers the
+		// pre-Start installs.
+		ck.session = s != nil
+		if s != nil {
+			ck.regDirty = true
+		}
+	}
 	feed = e.faults.Wrap(feed)
 	e.srcGate = e.newGate(e.resolveOverload(e.sourcePlan(), "source", "0"), e.ring, "source", "0")
 	e.setGates([]*ringGate{e.srcGate})
@@ -339,6 +349,14 @@ func (e *Engine) runSerial(ctx context.Context, feed trace.Feed, s *session) err
 			// Ring drained, every node settled: the safe boundary for
 			// topology changes, exactly like the checkpoint boundary below.
 			s.applyCommands()
+			// A registry change (install/uninstall, or session start)
+			// snapshots immediately: the durable registry must never
+			// trail the live topology by more than one boundary.
+			if ck := e.ckpt; ck != nil && ck.regDirty {
+				if err := e.writeCheckpoint(); err != nil {
+					return err
+				}
+			}
 		}
 		// Producer: fill the ring from the feed.
 		for e.ring.Len() < e.ring.Cap() {
@@ -430,16 +448,20 @@ func (e *Engine) runSerial(ctx context.Context, feed trace.Feed, s *session) err
 		}
 		e.srcGate.sync()
 		e.syncProfiles()
+		if s != nil {
+			e.syncQuotaMetrics()
+		}
 		// The ring is drained and every node sits at a tuple boundary: the
 		// one place the serial loop can snapshot a resumable state.
 		if err := e.maybeCheckpoint(); err != nil {
 			return err
 		}
 	}
-	// A cancelled run writes its final snapshot before the bottom-up flush
-	// mutates every open window: the snapshot must describe the state a
-	// restored run resumes from, not the flushed aftermath.
-	if cancelled && e.ckpt != nil {
+	// A cancelled run — and any ending session — writes its final
+	// snapshot before the bottom-up flush mutates every open window: the
+	// snapshot must describe the state a restored run resumes from, not
+	// the flushed aftermath.
+	if (cancelled || s != nil) && e.ckpt != nil {
 		if err := e.writeCheckpoint(); err != nil {
 			return err
 		}
@@ -491,6 +513,9 @@ func (e *Engine) runSerial(ctx context.Context, feed trace.Feed, s *session) err
 	e.syncSourceRing()
 	e.syncProfiles()
 	e.srcGate.sync()
+	if s != nil {
+		e.syncQuotaMetrics()
+	}
 	// Safety net: any trace still in flight (e.g. queued behind a node with
 	// no low-level consumer) terminates rather than leaking open.
 	e.tr.FinishOpen("stream_end")

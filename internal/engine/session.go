@@ -10,7 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamop/internal/checkpoint"
 	"streamop/internal/gsql"
+	"streamop/internal/overload"
 	"streamop/internal/sfunlib"
 	"streamop/internal/trace"
 	"streamop/internal/tuple"
@@ -58,6 +60,14 @@ import (
 // when the session ended before the request could be applied.
 var ErrSessionClosed = errors.New("engine: session ended")
 
+// ErrDuplicateQuery is wrapped by Install when the name is already taken
+// (gsqd maps it to 409 Conflict).
+var ErrDuplicateQuery = errors.New("query already installed")
+
+// ErrUnknownQuery is wrapped by Uninstall when no query has the name
+// (gsqd maps it to 404 Not Found).
+var ErrUnknownQuery = errors.New("no such query")
+
 // run-state values for Engine.runState.
 const (
 	stateIdle int32 = iota
@@ -100,16 +110,25 @@ type sessionFields struct {
 	handles map[string]*QueryHandle
 	taps    map[string]*tap
 
+	// nextSeq numbers installs so a durable snapshot can replay them in
+	// the original order (tap creation precedes its subscribers).
+	// Guarded by topoMu like the maps.
+	nextSeq uint64
+
 	installs   atomic.Int64
 	uninstalls atomic.Int64
 }
 
-// tap is one shared low-level node plus its subscriber refcount.
+// tap is one shared low-level node plus its subscriber refcount. The
+// creating install's Via text and seed ride along so a durable session
+// can recreate the tap from its snapshot (see durable.go).
 type tap struct {
-	name string // node name == the FROM name subscriber queries use
-	node *Node
-	key  string // canonical plan rendering, for Via conflict detection
-	refs int
+	name   string // node name == the FROM name subscriber queries use
+	node   *Node
+	key    string // canonical plan rendering, for Via conflict detection
+	refs   int
+	viaSrc string
+	seed   uint64
 }
 
 // StartOptions configures a session.
@@ -144,7 +163,13 @@ type InstallOptions struct {
 	// OnRow, when non-nil, receives every output row synchronously on
 	// the pump goroutine. An error return fails this query only (see
 	// Engine.Failures); other queries and the session keep running.
+	// OnRow is not persistable: a durable session restores the query
+	// without it (see Engine.RestoreSession).
 	OnRow func(tuple.Tuple) error
+	// Quota is the query's per-tenant delivery budget and subscriber-lag
+	// policy; the zero value leaves the query unlimited. See
+	// overload.Quota and docs/ROBUSTNESS.md.
+	Quota overload.Quota
 }
 
 // session is one live Start..Drain lifecycle.
@@ -188,9 +213,6 @@ func (e *Engine) Start(ctx context.Context, feed trace.Feed) error {
 func (e *Engine) StartWith(ctx context.Context, feed trace.Feed, opts StartOptions) error {
 	if feed == nil {
 		return fmt.Errorf("engine: session needs a feed")
-	}
-	if e.ckpt != nil {
-		return fmt.Errorf("engine: checkpointing requires a fixed topology; sessions do not support it")
 	}
 	if err := e.beginRun(); err != nil {
 		return err
@@ -422,16 +444,26 @@ func (e *Engine) install(name, src string, opts InstallOptions) (*QueryHandle, e
 		return nil, fmt.Errorf("engine: query name must not be empty")
 	}
 	if _, ok := e.handles[name]; ok {
-		return nil, fmt.Errorf("engine: query %q already installed", name)
+		return nil, fmt.Errorf("engine: query %q: %w", name, ErrDuplicateQuery)
+	}
+	if err := opts.Quota.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: query %q: %w", name, err)
 	}
 	parsed, err := gsql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	reg := sfunlib.Default(opts.Seed)
-	h := &QueryHandle{e: e, name: name, buf: opts.Buffer, block: opts.Block, onRow: opts.OnRow}
+	h := &QueryHandle{
+		e: e, name: name, buf: opts.Buffer, block: opts.Block, onRow: opts.OnRow,
+		src: src, viaSrc: opts.Via, seed: opts.Seed, quota: opts.Quota.WithDefaults(),
+	}
 	if h.buf <= 0 {
 		h.buf = 256
+	}
+	if opts.Quota.Enabled() {
+		h.gate = overload.NewTenantGate(opts.Quota)
+		e.observeQuota(h)
 	}
 	if strings.EqualFold(parsed.From, trace.Schema().Name()) {
 		if opts.Via != "" {
@@ -463,13 +495,28 @@ func (e *Engine) install(name, src string, opts InstallOptions) (*QueryHandle, e
 		h.tap = t
 	}
 	h.cols = h.node.plan.SelectNames
+	if e.ckpt != nil {
+		// Durability contract: a query whose operator state has no codec
+		// (user-defined aggregates) would poison every later snapshot and
+		// kill the session, so refuse it now, with the topology rolled
+		// back, instead of failing the whole session at the next boundary.
+		if err := h.node.op.Snapshot(checkpoint.NewEncoder()); err != nil {
+			e.removeQueryNode(h)
+			return nil, fmt.Errorf("engine: query %q cannot be installed while durability is enabled: %w", name, err)
+		}
+	}
 	if p := e.prof.Load(); p != nil {
 		h.node.prof = p.Node(name)
 		h.node.op.SetProfile(h.node.prof)
 	}
 	h.node.Subscribe(h.deliver)
+	h.seq = e.nextSeq
+	e.nextSeq++
 	e.handles[name] = h
 	e.installs.Add(1)
+	if e.ckpt != nil {
+		e.ckpt.regDirty = true
+	}
 	e.syncSessionMetrics()
 	return h, nil
 }
@@ -510,7 +557,7 @@ func (e *Engine) resolveTap(from, via string, seed uint64) (*tap, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &tap{name: from, node: node, key: vplan.Describe(), refs: 1}
+	t := &tap{name: from, node: node, key: vplan.Describe(), refs: 1, viaSrc: via, seed: seed}
 	e.taps[key] = t
 	return t, nil
 }
@@ -546,8 +593,23 @@ func (e *Engine) releaseTap(t *tap) {
 func (e *Engine) uninstall(name string) error {
 	h, ok := e.handles[name]
 	if !ok {
-		return fmt.Errorf("engine: no query named %q", name)
+		return fmt.Errorf("engine: query %q: %w", name, ErrUnknownQuery)
 	}
+	e.removeQueryNode(h)
+	delete(e.handles, name)
+	h.closeSubs(true)
+	e.uninstalls.Add(1)
+	if e.ckpt != nil {
+		e.ckpt.regDirty = true
+	}
+	e.syncSessionMetrics()
+	return nil
+}
+
+// removeQueryNode splices a query's node out of the topology (and drops
+// its tap ref), the shared teardown for uninstall and a failed install's
+// rollback. Caller holds topoMu.
+func (e *Engine) removeQueryNode(h *QueryHandle) {
 	if t := h.tap; t != nil {
 		// High-level node: detach from the tap, then drop the tap ref.
 		for i, sub := range t.node.subs {
@@ -562,16 +624,11 @@ func (e *Engine) uninstall(name string) error {
 				break
 			}
 		}
-		delete(e.names, name)
+		delete(e.names, h.name)
 		e.releaseTap(t)
 	} else {
 		e.removeLowNode(h.node)
 	}
-	delete(e.handles, name)
-	h.closeSubs(true)
-	e.uninstalls.Add(1)
-	e.syncSessionMetrics()
-	return nil
 }
 
 // removeLowNode splices one low-level node out of the topology and frees
@@ -654,8 +711,24 @@ type QueryHandle struct {
 	block bool
 	onRow func(tuple.Tuple) error
 
+	// Install provenance, persisted by durable sessions (durable.go):
+	// the query text, the Via text as given, the seed, and the install
+	// sequence number that orders registry replay.
+	src    string
+	viaSrc string
+	seed   uint64
+	seq    uint64
+
+	// Per-tenant admission (quota.go): quota is the effective
+	// (default-filled) policy, gate the token bucket (nil when the quota
+	// carries no row/byte budget).
+	quota overload.Quota
+	gate  *overload.TenantGate
+	qm    *handleQuotaMetrics
+
 	rowsOut    atomic.Int64
 	dropped    atomic.Uint64
+	detached   atomic.Uint64
 	failedFlag atomic.Bool
 	errv       atomic.Pointer[error]
 
@@ -718,8 +791,14 @@ func (h *QueryHandle) Err() error {
 }
 
 // deliver is the node application callback: it never returns an error
-// (a subscriber problem must not abort the shared session).
+// (a subscriber problem must not abort the shared session). The tenant
+// gate sits ahead of everything — a shed row costs the shared pump
+// nothing beyond the admission decision, which is what isolates the
+// other tenants from an over-budget query.
 func (h *QueryHandle) deliver(row tuple.Tuple) error {
+	if g := h.gate; g != nil && !g.Admit(rowBytes(row), h.e.lastTS.Load()) {
+		return nil
+	}
 	h.rowsOut.Add(1)
 	if h.onRow != nil && !h.failedFlag.Load() {
 		if err := h.onRow(row); err != nil {
@@ -737,8 +816,11 @@ func (h *QueryHandle) deliver(row tuple.Tuple) error {
 	h.mu.Lock()
 	subs := h.subs
 	h.mu.Unlock()
+	wait := h.blockWait()
 	for _, s := range subs {
-		s.offer(row, h.block)
+		if s.offer(row, h.block, wait) && h.quota.LagPolicy() {
+			h.noteSubLag(s)
+		}
 	}
 	return nil
 }
@@ -806,6 +888,11 @@ type Subscription struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	dropped   atomic.Uint64
+	// Lag-policy state (quota.go): lagging latches once the subscription
+	// crossed its query's WarnLag threshold; forcedOff latches when the
+	// pump detached it at DetachAfter (its channel is then closed).
+	lagging   atomic.Bool
+	forcedOff atomic.Bool
 }
 
 // C returns the subscription's row channel.
@@ -814,56 +901,83 @@ func (s *Subscription) C() <-chan tuple.Tuple { return s.ch }
 // Dropped returns rows this subscription lost to the drop policy.
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
+// Lagging reports whether the subscription crossed its query's WarnLag
+// threshold.
+func (s *Subscription) Lagging() bool { return s.lagging.Load() }
+
+// Detached reports whether the pump force-detached the subscription
+// under its query's DetachAfter policy (its channel has closed).
+func (s *Subscription) Detached() bool { return s.forcedOff.Load() }
+
 // Close detaches the subscription: the pump stops delivering to it and
 // drops it from the query's subscriber list. Safe to call from any
 // goroutine, any number of times. The row channel is NOT closed by Close
 // (the pump owns it); consumers ranging over C() should select on their
 // own context instead.
 func (s *Subscription) Close() {
-	s.closeOnce.Do(func() {
-		close(s.closed)
-		h := s.h
-		h.mu.Lock()
-		for i, other := range h.subs {
-			if other == s {
-				h.subs = append(h.subs[:i], h.subs[i+1:]...)
-				break
-			}
+	s.closeOnce.Do(func() { close(s.closed) })
+	h := s.h
+	h.mu.Lock()
+	for i, other := range h.subs {
+		if other == s {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			break
 		}
-		h.mu.Unlock()
-	})
+	}
+	h.mu.Unlock()
 }
 
-// offer delivers one row under the overflow policy. Pump goroutine only.
-func (s *Subscription) offer(row tuple.Tuple, block bool) {
+// offer delivers one row under the overflow policy and reports whether
+// the subscription lost a row doing so. Pump goroutine only. wait bounds
+// the block policy's backpressure: <= 0 waits indefinitely (the default
+// Block contract); > 0 converts a timed-out wait into a counted drop
+// (the shed-with-counters rung of the quota lag ladder).
+func (s *Subscription) offer(row tuple.Tuple, block bool, wait time.Duration) bool {
 	select {
 	case <-s.closed:
-		return
+		return false
 	default:
 	}
 	r := row.Clone()
 	select {
 	case s.ch <- r:
-		return
+		return false
 	default:
 	}
 	if block {
+		if wait <= 0 {
+			select {
+			case s.ch <- r:
+			case <-s.closed:
+			}
+			return false
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
 		select {
 		case s.ch <- r:
+			return false
 		case <-s.closed:
+			return false
+		case <-t.C:
+			s.dropped.Add(1)
+			return true
 		}
-		return
 	}
 	// Drop-oldest: evict one buffered row, then retry once; a consumer
 	// racing us may have freed space either way.
+	lost := false
 	select {
 	case <-s.ch:
 		s.dropped.Add(1)
+		lost = true
 	default:
 	}
 	select {
 	case s.ch <- r:
 	default:
 		s.dropped.Add(1)
+		lost = true
 	}
+	return lost
 }

@@ -5,6 +5,12 @@
 # over HTTP, assert SSE rows arrive on a live stream, jq-validate the
 # /metrics and /debug/state surfaces, uninstall, and shut the server
 # down with SIGTERM, expecting a graceful drain (docs/SERVER.md).
+#
+# A second phase proves durable sessions at the process level: a gsqd
+# with -state-dir is killed with SIGKILL (no drain, no final anything
+# the process controls) and restarted on the same directory; the restart
+# must re-install the standing query from the boundary snapshots and
+# serve rows for it again (docs/ROBUSTNESS.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,3 +92,67 @@ pid=
 [ "$status" -eq 0 ] || { echo "gsqd_smoke: exit status $status" >&2; cat "$workdir/gsqd.err" >&2; exit 1; }
 grep -q 'gsqd: drained; bye' "$workdir/gsqd.err"
 echo "gsqd_smoke: graceful shutdown OK"
+
+# ---------------------------------------------------------------------------
+# Durable-session phase: kill -9, restart, queries recovered, rows again.
+
+statedir="$workdir/state"
+start_durable() { # $1 = stderr log
+  "$workdir/gsqd" -addr 127.0.0.1:0 -feed bursty -duration 30 -seed 7 \
+    -speedup 200 -state-dir "$statedir" -checkpoint-every 1 2>"$1" &
+  pid=$!
+  base=
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || { cat "$1" >&2; exit 1; }
+    base=$(sed -n 's/^gsqd: listening on \(http:\/\/[^ ]*\).*/\1/p' "$1")
+    [ -n "$base" ] && break
+    sleep 0.1
+  done
+  [ -n "$base" ] || { echo "gsqd_smoke: durable server never bound" >&2; cat "$1" >&2; exit 1; }
+}
+
+start_durable "$workdir/gsqd-life1.err"
+echo "gsqd_smoke: durable server (life 1) at $base"
+curl -fsS -X POST "$base/queries" -d '{
+  "name": "survivor",
+  "via":  "SELECT time, srcIP, len, uts FROM PKT WHERE len >= 1500",
+  "query":"SELECT tb, srcIP, sum(len) FROM tap GROUP BY time/1 as tb, srcIP",
+  "quota": {"rows_per_sec": 1000, "warn_lag": 64, "detach_after": 4096}
+}' | jq -e '.name == "survivor"' >/dev/null
+
+# Let rows flow (so operator state exists) and snapshots land on disk.
+curl -sN --max-time 6 "$base/queries/survivor/rows" >"$workdir/rows1.sse" || true
+rows1=$(grep -c '^event: row$' "$workdir/rows1.sse")
+[ "$rows1" -ge 3 ] || { echo "gsqd_smoke: only $rows1 pre-kill rows" >&2; exit 1; }
+ls "$statedir" | grep -q . || { echo "gsqd_smoke: no snapshots in $statedir" >&2; exit 1; }
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=
+echo "gsqd_smoke: killed -9 with $(ls "$statedir" | wc -l) snapshots on disk"
+
+start_durable "$workdir/gsqd-life2.err"
+echo "gsqd_smoke: durable server (life 2) at $base"
+grep -q 'gsqd: recovered 1 queries' "$workdir/gsqd-life2.err" \
+  || { echo "gsqd_smoke: restart did not report a recovery" >&2; cat "$workdir/gsqd-life2.err" >&2; exit 1; }
+curl -fsS "$base/healthz" >"$workdir/health2.json"
+jq -e '.queries == 1 and .recovered_queries == ["survivor"] and .recovered_packets > 0' \
+  "$workdir/health2.json" >/dev/null
+curl -fsS "$base/queries/survivor" >"$workdir/survivor2.json"
+jq -e '.rows_out > 0 and .quota.rows_per_sec == 1000' "$workdir/survivor2.json" >/dev/null
+
+# The recovered query serves rows again over a fresh SSE stream.
+curl -sN --max-time 6 "$base/queries/survivor/rows" >"$workdir/rows2.sse" || true
+rows2=$(grep -c '^event: row$' "$workdir/rows2.sse")
+[ "$rows2" -ge 3 ] || { echo "gsqd_smoke: only $rows2 post-restart rows" >&2; cat "$workdir/gsqd-life2.err" >&2; exit 1; }
+echo "gsqd_smoke: recovered query streaming again ($rows2 rows)"
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$pid" && status=0 || status=$?
+pid=
+[ "$status" -eq 0 ] || { echo "gsqd_smoke: durable shutdown exit $status" >&2; exit 1; }
+echo "gsqd_smoke: durable kill -9 recovery OK"

@@ -42,6 +42,7 @@
 package streamop
 
 import (
+	"streamop/internal/checkpoint"
 	"streamop/internal/core"
 	"streamop/internal/engine"
 	"streamop/internal/flow"
@@ -161,6 +162,47 @@ type Subscription = engine.Subscription
 // ErrSessionClosed is returned by Install/Uninstall routed to a session
 // that has already drained.
 var ErrSessionClosed = engine.ErrSessionClosed
+
+// ErrDuplicateQuery is wrapped by Install when the query name is already
+// taken; ErrUnknownQuery by Uninstall when it is not. Servers map these
+// to 409 and 404 (see cmd/gsqd).
+var (
+	ErrDuplicateQuery = engine.ErrDuplicateQuery
+	ErrUnknownQuery   = engine.ErrUnknownQuery
+)
+
+// Durable sessions and one-shot checkpointing (see docs/ROBUSTNESS.md).
+
+// CheckpointConfig configures boundary snapshots (Engine.SetCheckpoint):
+// the directory, the every-N-closed-windows cadence and the on-disk
+// history bound. A session additionally snapshots on every install and
+// uninstall, so the standing-query registry is never older than the last
+// pump boundary.
+type CheckpointConfig = engine.CheckpointConfig
+
+// RestoreInfo describes what Engine.RestoreLatest recovered for a
+// one-shot run; SessionRestoreInfo what Engine.RestoreSession recovered
+// for a standing-query session (queries, taps, quota state, packets to
+// fast-forward past).
+type (
+	RestoreInfo        = engine.RestoreInfo
+	SessionRestoreInfo = engine.SessionRestoreInfo
+)
+
+// ErrNoCheckpoint is returned (possibly wrapped) by the restore calls
+// when the checkpoint directory holds no valid snapshot; callers treat
+// it as a fresh start.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// Quota is one standing query's per-tenant delivery budget (token-bucket
+// rows/bytes per second of stream time) and subscriber-lag policy
+// (warn → shed-with-counters → detach). The zero value is unlimited.
+// Attach via InstallOptions.Quota; observe via QueryHandle.QuotaState,
+// the streamop_quota_* gauges and /debug/state's "quotas" block.
+type Quota = overload.Quota
+
+// QuotaSnapshot is one quota-carrying query's observable admission state.
+type QuotaSnapshot = overload.QuotaSnapshot
 
 // Overload control and fault injection (see docs/ROBUSTNESS.md).
 
